@@ -1,0 +1,127 @@
+// Ablation — convergence speed: SCG model vs. step-by-step hill climbing.
+//
+// Section 3.1 argues that step-by-step heuristic tuners are too slow for
+// bursty workloads, which is why the SCG model estimates the optimum in one
+// shot from the scatter. Both tuners start from the same badly
+// under-allocated Cart thread pool; we track goodput over time and report
+// time-to-recovery.
+#include "bench_util.h"
+
+#include "core/hillclimb.h"
+#include "core/sora.h"
+
+namespace sora::bench {
+namespace {
+
+struct ConvergenceResult {
+  std::vector<TimelineBucket> client;
+  ExperimentSummary summary;
+  int final_pool = 0;
+};
+
+enum class Tuner { kNone, kSora, kHillClimb };
+
+ConvergenceResult run(Tuner tuner, std::uint64_t seed) {
+  sock_shop::Params params;
+  params.cart_cores = 4.0;
+  // Under-allocated cold start, but inside the region where goodput has a
+  // usable gradient (a gradient-free zero plateau would let the hill
+  // climber wander in either direction and never recover).
+  params.cart_threads = 4;
+  ExperimentConfig ecfg;
+  ecfg.duration = minutes(6);
+  ecfg.sla = msec(250);
+  ecfg.seed = seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  exp.closed_loop(1700, sec(1), RequestMix(sock_shop::kBrowse));
+
+  const ResourceKnob knob = ResourceKnob::entry(exp.app().service("cart"));
+  std::unique_ptr<HillClimbTuner> climber;
+  switch (tuner) {
+    case Tuner::kSora: {
+      SoraFrameworkOptions so;
+      so.sla = ecfg.sla;
+      exp.add_sora(so).manage(knob);
+      break;
+    }
+    case Tuner::kHillClimb: {
+      HillClimbOptions ho;
+      ho.rt_threshold = msec(200);
+      climber = std::make_unique<HillClimbTuner>(exp.sim(), exp.tracer(), knob,
+                                                 ho);
+      climber->start();
+      break;
+    }
+    case Tuner::kNone:
+      break;
+  }
+
+  exp.run();
+  ConvergenceResult out;
+  out.client = exp.recorder().timeline();
+  out.summary = exp.summary();
+  out.final_pool = knob.current_size();
+  return out;
+}
+
+/// First time [s] at which goodput sustains >= `fraction` of the reference
+/// steady-state goodput for 30 consecutive seconds; -1 if never.
+int recovery_time(const ConvergenceResult& r, double target_gps) {
+  int streak = 0;
+  for (std::size_t i = 0; i < r.client.size(); ++i) {
+    if (static_cast<double>(r.client[i].good) >= target_gps) {
+      if (++streak >= 30) return static_cast<int>(i) - 29;
+    } else {
+      streak = 0;
+    }
+  }
+  return -1;
+}
+
+int main_impl() {
+  print_header("Ablation: convergence speed, SCG vs step-by-step tuning",
+               "Paper Section 3.1: heuristic step-by-step tuners converge "
+               "too slowly for bursty workloads");
+
+  const ConvergenceResult none = run(Tuner::kNone, 23);
+  const ConvergenceResult sora = run(Tuner::kSora, 23);
+  const ConvergenceResult climb = run(Tuner::kHillClimb, 23);
+
+  // Reference: the best goodput any variant sustains.
+  double target = 0.0;
+  for (const auto* r : {&sora, &climb}) {
+    for (const auto& b : r->client) {
+      target = std::max(target, static_cast<double>(b.good));
+    }
+  }
+  target *= 0.9;
+
+  TextTable t({"tuner", "recovery time [s]", "avg goodput [req/s]",
+               "p99 [ms]", "final pool"});
+  auto row = [&](const char* name, const ConvergenceResult& r) {
+    const int rec = recovery_time(r, target);
+    t.add_row({name, rec < 0 ? "never" : fmt_count(static_cast<std::uint64_t>(rec)),
+               fmt(r.summary.goodput_rps, 0), fmt(r.summary.p99_ms, 0),
+               fmt_count(static_cast<std::uint64_t>(r.final_pool))});
+  };
+  row("static (4 threads)", none);
+  row("Sora (SCG)", sora);
+  row("hill climbing", climb);
+  t.print(std::cout);
+
+  std::cout << "\ngoodput timelines:\n";
+  auto spark = [](const ConvergenceResult& r) {
+    return sparkline(column(r.client, [](const TimelineBucket& b) {
+      return static_cast<double>(b.good);
+    }));
+  };
+  std::cout << "static     |" << spark(none) << "|\n";
+  std::cout << "Sora       |" << spark(sora) << "|\n";
+  std::cout << "hill climb |" << spark(climb) << "|\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

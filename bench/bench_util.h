@@ -1,0 +1,247 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/sock_shop.h"
+#include "apps/social_network.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace sora::bench {
+
+/// Goodput of Sock Shop browse traffic with a fixed Cart thread pool, under
+/// a closed-loop population. Used by the Figure 3/9 sweeps.
+struct SweepResult {
+  int pool_size = 0;
+  double goodput = 0.0;
+  double throughput = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct CartSweepConfig {
+  double cart_cores = 4.0;
+  SimTime sla = msec(250);  ///< end-to-end goodput threshold
+  int users = 600;
+  SimTime think = sec(1);
+  SimTime duration = minutes(3);
+  std::uint64_t seed = 42;
+};
+
+inline SweepResult run_cart_point(const CartSweepConfig& cfg, int threads) {
+  sock_shop::Params params;
+  params.cart_cores = cfg.cart_cores;
+  params.cart_threads = threads;
+  ExperimentConfig ecfg;
+  ecfg.duration = cfg.duration;
+  ecfg.sla = cfg.sla;
+  ecfg.seed = cfg.seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  exp.closed_loop(cfg.users, cfg.think, RequestMix(sock_shop::kBrowse));
+  exp.run();
+  const ExperimentSummary s = exp.summary();
+  return SweepResult{threads, s.goodput_rps, s.throughput_rps, s.p99_ms};
+}
+
+/// Normalize a sweep's goodput column to its maximum (the paper's Figure 3
+/// y-axis is normalized goodput).
+inline std::vector<double> normalized_goodput(
+    const std::vector<SweepResult>& sweep) {
+  double max_gp = 0.0;
+  for (const auto& r : sweep) max_gp = std::max(max_gp, r.goodput);
+  std::vector<double> out;
+  out.reserve(sweep.size());
+  for (const auto& r : sweep) {
+    out.push_back(max_gp > 0 ? r.goodput / max_gp : 0.0);
+  }
+  return out;
+}
+
+inline int argmax_goodput(const std::vector<SweepResult>& sweep) {
+  int best = sweep.empty() ? 0 : sweep.front().pool_size;
+  double best_gp = -1.0;
+  for (const auto& r : sweep) {
+    if (r.goodput > best_gp) {
+      best_gp = r.goodput;
+      best = r.pool_size;
+    }
+  }
+  return best;
+}
+
+/// Render an ASCII timeline sparkline (one char per bucket, scaled to max).
+inline std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  double max_v = 0.0;
+  for (double v : values) max_v = std::max(max_v, v);
+  std::string out;
+  for (double v : values) {
+    const int level =
+        max_v > 0 ? static_cast<int>(v / max_v * 7.0 + 0.5) : 0;
+    out += kLevels[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+/// Downsample a timeline column for compact printing.
+template <typename T, typename Fn>
+std::vector<double> column(const std::vector<T>& points, Fn&& get,
+                           std::size_t max_points = 72) {
+  std::vector<double> out;
+  if (points.empty()) return out;
+  const std::size_t stride = std::max<std::size_t>(1, points.size() / max_points);
+  for (std::size_t i = 0; i < points.size(); i += stride) {
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (std::size_t j = i; j < std::min(points.size(), i + stride); ++j, ++n) {
+      acc += get(points[j]);
+    }
+    out.push_back(n ? acc / static_cast<double>(n) : 0.0);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared runner for the Section 5.2 comparisons: Sock Shop Cart under a
+// bursty trace, a hardware-only autoscaler, and optionally a soft-resource
+// adaptation framework (Sora = SCG, ConScale = SCT).
+// ---------------------------------------------------------------------------
+
+enum class HardwareScaler { kNone, kFirm, kVpa, kHpa };
+enum class SoftAdaptation { kNone, kSora, kConScale };
+
+struct CartTraceConfig {
+  TraceShape shape = TraceShape::kSteepTriPhase;
+  SimTime duration = minutes(6);
+  SimTime sla = msec(400);
+  double base_users = 600;
+  double peak_users = 2400;
+  HardwareScaler scaler = HardwareScaler::kFirm;
+  SoftAdaptation adaptation = SoftAdaptation::kNone;
+  int initial_threads = 5;   ///< pre-profiled for the 2-core limit (paper)
+  double initial_cores = 2.0;
+  double max_cores = 4.0;
+  /// Scales every CPU demand. >1 puts per-visit service times in the
+  /// tens-of-ms regime of the paper's testbed, where the latency-filtered
+  /// (SCG) and latency-agnostic (SCT) models genuinely diverge.
+  double demand_scale = 1.0;
+  std::uint64_t seed = 42;
+};
+
+struct CartTraceResult {
+  ExperimentSummary summary;
+  std::vector<ServiceTimelinePoint> cart;        ///< per-second cart state
+  std::vector<TimelineBucket> client;            ///< per-second client view
+};
+
+inline CartTraceResult run_cart_trace(const CartTraceConfig& cfg) {
+  sock_shop::Params params;
+  params.cart_cores = cfg.initial_cores;
+  params.cart_threads = cfg.initial_threads;
+  params.demand_scale = cfg.demand_scale;
+  ExperimentConfig ecfg;
+  ecfg.duration = cfg.duration;
+  ecfg.sla = cfg.sla;
+  ecfg.seed = cfg.seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+
+  const WorkloadTrace trace(cfg.shape, cfg.duration, cfg.base_users,
+                            cfg.peak_users);
+  auto& users = exp.closed_loop(static_cast<int>(cfg.base_users), sec(1),
+                                RequestMix(sock_shop::kBrowse));
+  users.follow_trace(trace);
+
+  Autoscaler* scaler = nullptr;
+  switch (cfg.scaler) {
+    case HardwareScaler::kFirm: {
+      FirmOptions fo;
+      fo.slo_latency = cfg.sla;
+      fo.min_cores = cfg.initial_cores;
+      fo.max_cores = cfg.max_cores;
+      auto& firm = exp.add_firm(fo);
+      firm.manage(exp.app().service("cart"));
+      scaler = &firm;
+      break;
+    }
+    case HardwareScaler::kVpa: {
+      VpaOptions vo;
+      vo.min_cores = cfg.initial_cores;
+      vo.max_cores = cfg.max_cores;
+      auto& vpa = exp.add_vpa(vo);
+      vpa.manage(exp.app().service("cart"));
+      scaler = &vpa;
+      break;
+    }
+    case HardwareScaler::kHpa: {
+      auto& hpa = exp.add_hpa();
+      hpa.manage(exp.app().service("cart"));
+      scaler = &hpa;
+      break;
+    }
+    case HardwareScaler::kNone:
+      break;
+  }
+
+  if (cfg.adaptation != SoftAdaptation::kNone) {
+    SoraFrameworkOptions so = cfg.adaptation == SoftAdaptation::kConScale
+                                  ? make_conscale_options()
+                                  : SoraFrameworkOptions{};
+    so.sla = cfg.sla;
+    auto& fw = exp.add_sora(so);
+    fw.manage(ResourceKnob::entry(exp.app().service("cart")));
+    if (scaler != nullptr) Experiment::link(*scaler, fw);
+  }
+
+  exp.track_service("cart");
+  exp.run();
+
+  CartTraceResult out;
+  out.summary = exp.summary();
+  out.cart = exp.timeline("cart");
+  out.client = exp.recorder().timeline();
+  return out;
+}
+
+/// Print the stacked timeline panes of Figures 10/11 as sparklines.
+inline void print_cart_panes(const std::string& label,
+                             const CartTraceResult& r) {
+  const auto rt = column(r.client,
+                         [](const TimelineBucket& b) { return b.mean_rt_ms(); });
+  const auto gp = column(r.client, [](const TimelineBucket& b) {
+    return static_cast<double>(b.good);
+  });
+  const auto util = column(
+      r.cart, [](const ServiceTimelinePoint& p) { return p.util_pct; });
+  const auto limit = column(
+      r.cart, [](const ServiceTimelinePoint& p) { return p.limit_pct; });
+  const auto threads = column(r.cart, [](const ServiceTimelinePoint& p) {
+    return static_cast<double>(p.entry_capacity);
+  });
+  auto vmax = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, x);
+    return m;
+  };
+  std::cout << "\n--- " << label << " ---\n";
+  std::cout << "resp time    (max " << fmt(vmax(rt), 0) << " ms)   |"
+            << sparkline(rt) << "|\n";
+  std::cout << "goodput      (max " << fmt(vmax(gp), 0) << " r/s)  |"
+            << sparkline(gp) << "|\n";
+  std::cout << "cart util    (max " << fmt(vmax(util), 0) << " %)    |"
+            << sparkline(util) << "|\n";
+  std::cout << "cart limit   (max " << fmt(vmax(limit), 0) << " %)    |"
+            << sparkline(limit) << "|\n";
+  std::cout << "cart threads (max " << fmt(vmax(threads), 0) << ")      |"
+            << sparkline(threads) << "|\n";
+}
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::cout << "\n================================================================\n"
+            << title << "\n" << paper << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace sora::bench

@@ -1,0 +1,112 @@
+// Figure 1 — the paper's motivating incident: Kubernetes HPA scales the
+// bottlenecked Catalogue service out, but the DB connection pool stays
+// over-allocated; response time keeps spiking. Sora adapts the pool.
+//
+// Panels (as in the figure): end-to-end latency, Catalogue CPU
+// utilization (with the scale-out visible), and established DB connections.
+#include "bench_util.h"
+
+namespace sora::bench {
+namespace {
+
+struct Fig1Result {
+  ExperimentSummary summary;
+  std::vector<ServiceTimelinePoint> catalogue;
+  std::vector<TimelineBucket> client;
+};
+
+Fig1Result run(bool with_sora, std::uint64_t seed) {
+  sock_shop::Params params;
+  params.catalogue_db_connections = 96;  // grossly over-allocated pool
+  params.catalogue_cores = 2.0;          // catalogue = bottleneck HPA scales
+  // Keep every other service well out of the way so the catalogue branch
+  // (the paper's Figure 1 subject) is the bottleneck.
+  params.cart_cores = 8.0;
+  params.cart_threads = 64;
+  ExperimentConfig ecfg;
+  ecfg.duration = minutes(6);
+  ecfg.sla = msec(400);
+  ecfg.seed = seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+
+  // Sustained high phase (the paper's figure shows a scale-out under a
+  // lasting surge, not an instantaneous spike).
+  const WorkloadTrace trace(TraceShape::kDualPhase, ecfg.duration, 600, 2400);
+  auto& users = exp.closed_loop(600, sec(1), RequestMix(sock_shop::kBrowse));
+  users.follow_trace(trace);
+
+  HpaOptions ho;
+  ho.max_replicas = 4;
+  auto& hpa = exp.add_hpa(ho);
+  hpa.manage(exp.app().service("catalogue"));
+
+  if (with_sora) {
+    SoraFrameworkOptions so;
+    so.sla = ecfg.sla;
+    auto& sora = exp.add_sora(so);
+    sora.manage(
+        ResourceKnob::edge(exp.app().service("catalogue"), "catalogue-db"));
+    Experiment::link(hpa, sora);
+  }
+
+  exp.track_service("catalogue", "catalogue-db");
+  exp.run();
+  Fig1Result out;
+  out.summary = exp.summary();
+  out.catalogue = exp.timeline("catalogue");
+  out.client = exp.recorder().timeline();
+  return out;
+}
+
+void print_panes(const std::string& label, const Fig1Result& r) {
+  const auto rt = column(r.client,
+                         [](const TimelineBucket& b) { return b.max_rt_ms(); });
+  const auto util = column(
+      r.catalogue, [](const ServiceTimelinePoint& p) { return p.util_pct; });
+  const auto conns = column(r.catalogue, [](const ServiceTimelinePoint& p) {
+    return static_cast<double>(p.edge_capacity);
+  });
+  auto vmax = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, x);
+    return m;
+  };
+  std::cout << "\n--- " << label << " ---\n";
+  std::cout << "end-to-end latency (max " << fmt(vmax(rt), 0) << " ms) |"
+            << sparkline(rt) << "|\n";
+  std::cout << "catalogue CPU util (max " << fmt(vmax(util), 0) << " %)  |"
+            << sparkline(util) << "|\n";
+  std::cout << "established DB conns (max " << fmt(vmax(conns), 0) << ")  |"
+            << sparkline(conns) << "|\n";
+}
+
+int main_impl() {
+  print_header("Figure 1: HPA with over-allocated DB connections vs Sora",
+               "Paper: HPA scale-out alone cannot remove the latency spikes; "
+               "Sora trims the connection pool");
+
+  const Fig1Result hpa = run(false, 9);
+  const Fig1Result sora = run(true, 9);
+  print_panes("(a) Kubernetes HPA only (96 DB conns static)", hpa);
+  print_panes("(b) HPA + Sora", sora);
+
+  std::cout << "\n=== Summary ===\n";
+  TextTable t({"metric", "HPA", "HPA+Sora", "paper shape"});
+  t.add_row({"p99 latency [ms]", fmt(hpa.summary.p99_ms, 0),
+             fmt(sora.summary.p99_ms, 0), "Sora lower"});
+  t.add_row({"avg goodput [req/s]", fmt(hpa.summary.goodput_rps, 0),
+             fmt(sora.summary.goodput_rps, 0), "Sora higher"});
+  const int hpa_conns =
+      hpa.catalogue.empty() ? 0 : hpa.catalogue.back().edge_capacity;
+  const int sora_conns =
+      sora.catalogue.empty() ? 0 : sora.catalogue.back().edge_capacity;
+  t.add_row({"final DB conn allocation", fmt_count(hpa_conns),
+             fmt_count(sora_conns), "Sora trims over-allocation"});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

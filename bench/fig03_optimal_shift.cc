@@ -1,0 +1,128 @@
+// Figure 3 — "Optimal" soft resource allocation shifts for Cart and
+// Post Storage as the response-time threshold, hardware provisioning, or
+// system state changes.
+//
+// Panels:
+//   (a) 4-core Cart, 250 ms SLA  — optimum in the tens of threads
+//   (b) 4-core Cart, 150 ms SLA  — optimum shifts HIGHER (tighter deadline)
+//   (c) 2-core Cart, 250 ms SLA  — optimum shifts LOWER (fewer cores)
+//   (d) 2-core Cart, 350 ms SLA  — optimum lower still (looser deadline)
+//   (e) Post Storage, light requests — small connection optimum
+//   (f) Post Storage, heavy requests — optimum shifts higher
+//
+// The paper's absolute optima (30/80/10/5 threads, 10/30 connections) are
+// testbed-specific; the reproduced artifact is the *direction* of each
+// shift.
+#include "bench_util.h"
+
+namespace sora::bench {
+namespace {
+
+// Pool sweeps near saturation (the regime of the paper's 3-minute
+// profiling runs): both the under-allocation rise and the over-allocation
+// falloff are visible.
+const std::vector<int> kThreadSizes = {2, 3, 5, 8, 12, 16, 24, 32, 64, 128, 200};
+const std::vector<int> kConnSizes = {1, 2, 3, 4, 6, 8, 12, 20, 32, 64};
+
+std::vector<SweepResult> cart_sweep(double cores, SimTime sla, int users,
+                                    std::uint64_t seed) {
+  CartSweepConfig cfg;
+  cfg.cart_cores = cores;
+  cfg.sla = sla;
+  cfg.users = users;
+  cfg.seed = seed;
+  std::vector<SweepResult> out;
+  for (int threads : kThreadSizes) {
+    out.push_back(run_cart_point(cfg, threads));
+  }
+  return out;
+}
+
+SweepResult run_post_storage_point(int connections, int request_class,
+                                   SimTime sla, int users,
+                                   std::uint64_t seed) {
+  social_network::Params params;
+  params.post_storage_connections = connections;
+  ExperimentConfig ecfg;
+  ecfg.duration = minutes(3);
+  ecfg.sla = sla;
+  ecfg.seed = seed;
+  Experiment exp(social_network::make_social_network(params), ecfg);
+  exp.closed_loop(users, sec(1), RequestMix(request_class));
+  exp.run();
+  const ExperimentSummary s = exp.summary();
+  return SweepResult{connections, s.goodput_rps, s.throughput_rps, s.p99_ms};
+}
+
+void print_panel(const std::string& name, const std::string& claim,
+                 const std::vector<SweepResult>& sweep) {
+  std::cout << "\n--- " << name << " ---\n" << claim << "\n";
+  TextTable t({"pool size", "goodput [req/s]", "normalized", "p99 [ms]"});
+  const auto norm = normalized_goodput(sweep);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    t.add_row({fmt_count(static_cast<std::uint64_t>(sweep[i].pool_size)),
+               fmt(sweep[i].goodput, 1), fmt(norm[i], 3),
+               fmt(sweep[i].p99_ms, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "measured optimum: " << argmax_goodput(sweep) << "\n";
+}
+
+int main_impl() {
+  print_header("Figure 3: optimal soft-resource allocation shifts",
+               "Paper: optima 30/80/10/5 threads (a-d), 10/30 connections (e-f)");
+
+  const auto a = cart_sweep(4.0, msec(250), 1900, 1);
+  const auto b = cart_sweep(4.0, msec(150), 1900, 1);
+  const auto c = cart_sweep(2.0, msec(250), 1000, 1);
+  const auto d = cart_sweep(2.0, msec(350), 1000, 1);
+
+  print_panel("(a) 4-core Cart, 250ms", "paper optimum: 30 threads", a);
+  print_panel("(b) 4-core Cart, 150ms",
+              "paper optimum: 80 threads (shifts HIGHER than (a))", b);
+  print_panel("(c) 2-core Cart, 250ms",
+              "paper optimum: 10 threads (shifts LOWER than (a))", c);
+  print_panel("(d) 2-core Cart, 350ms",
+              "paper optimum: 5 threads (shifts LOWER than (c))", d);
+
+  const auto e = [&] {
+    std::vector<SweepResult> out;
+    for (int conns : kConnSizes) {
+      out.push_back(run_post_storage_point(
+          conns, social_network::kReadTimelineLight, msec(250), 1500, 2));
+    }
+    return out;
+  }();
+  const auto f = [&] {
+    std::vector<SweepResult> out;
+    for (int conns : kConnSizes) {
+      out.push_back(run_post_storage_point(
+          conns, social_network::kReadTimelineHeavy, msec(250), 700, 2));
+    }
+    return out;
+  }();
+  print_panel("(e) Post Storage, light requests", "paper optimum: 10 connections", e);
+  print_panel("(f) Post Storage, heavy requests",
+              "paper optimum: 30 connections (shifts HIGHER than (e))", f);
+
+  std::cout << "\n=== Shift summary (paper direction -> measured) ===\n";
+  TextTable t({"shift", "paper", "measured", "holds"});
+  const int oa = argmax_goodput(a), ob = argmax_goodput(b),
+            oc = argmax_goodput(c), od = argmax_goodput(d),
+            oe = argmax_goodput(e), of_ = argmax_goodput(f);
+  t.add_row({"(a)->(b) tighter SLA, 4-core", "30 -> 80 (up)",
+             fmt_count(oa) + " -> " + fmt_count(ob), ob >= oa ? "yes" : "NO"});
+  t.add_row({"(a)->(c) fewer cores", "30 -> 10 (down)",
+             fmt_count(oa) + " -> " + fmt_count(oc), oc <= oa ? "yes" : "NO"});
+  t.add_row({"(c)->(d) looser SLA, 2-core", "10 -> 5 (down)",
+             fmt_count(oc) + " -> " + fmt_count(od), od <= oc ? "yes" : "NO"});
+  t.add_row({"(e)->(f) heavier requests", "10 -> 30 (up)",
+             fmt_count(oe) + " -> " + fmt_count(of_), of_ >= oe ? "yes" : "NO"});
+  t.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

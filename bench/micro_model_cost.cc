@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) — the online costs Section 6 claims:
+// SCG estimation (fit + Kneedle) is sub-second even on large windows, and
+// the trace-analysis path (critical path extraction + deadline propagation)
+// adds at most tens of milliseconds per control round.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/deadline.h"
+#include "core/scg_model.h"
+#include "trace/critical_path.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+namespace {
+
+std::vector<SamplePoint> make_scatter(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SamplePoint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SamplePoint p;
+    p.at = static_cast<SimTime>(i) * msec(100);
+    p.concurrency = rng.uniform(0.5, 30.0);
+    p.goodput = 1000.0 * (1.0 - std::exp(-p.concurrency / 4.0)) +
+                rng.normal(0.0, 15.0);
+    p.throughput = p.goodput + rng.uniform(0.0, 30.0);
+    out.push_back(p);
+  }
+  return out;
+}
+
+void BM_ScgEstimate(benchmark::State& state) {
+  const auto scatter = make_scatter(static_cast<std::size_t>(state.range(0)), 3);
+  ScgModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.estimate(scatter));
+  }
+  state.SetLabel("points=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ScgEstimate)->Arg(600)->Arg(1800)->Arg(6000)->Arg(18000);
+
+void BM_KneedleOnly(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> xs(n), ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = static_cast<double>(i + 1);
+    ys[i] = 1.0 - std::exp(-xs[i] / 8.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kneedle(xs, ys));
+  }
+}
+BENCHMARK(BM_KneedleOnly)->Arg(50)->Arg(500);
+
+Trace make_deep_trace(int depth, std::uint64_t id) {
+  Trace t;
+  t.id = TraceId(id);
+  t.start = 0;
+  t.end = depth * 100;
+  SimTime lo = 0, hi = static_cast<SimTime>(depth) * 100;
+  for (int i = 0; i < depth; ++i) {
+    Span s;
+    s.id = SpanId(id * 100 + static_cast<std::uint64_t>(i));
+    s.trace = t.id;
+    s.parent = i == 0 ? SpanId{} : SpanId(id * 100 + static_cast<std::uint64_t>(i - 1));
+    s.service = ServiceId(static_cast<std::uint64_t>(i));
+    s.arrival = lo;
+    s.admitted = lo;
+    s.departure = hi;
+    s.downstream_wait = i + 1 < depth ? hi - lo - 40 : 0;
+    if (i > 0) {
+      t.spans[static_cast<std::size_t>(i - 1)].children.push_back(
+          ChildCall{s.id, 0, lo, hi});
+    }
+    t.spans.push_back(s);
+    lo += 20;
+    hi -= 20;
+  }
+  return t;
+}
+
+void BM_CriticalPathExtraction(benchmark::State& state) {
+  const Trace t = make_deep_trace(static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_critical_path(t));
+  }
+}
+BENCHMARK(BM_CriticalPathExtraction)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_DeadlinePropagationWindow(benchmark::State& state) {
+  TraceWarehouse wh(100000);
+  for (int i = 0; i < state.range(0); ++i) {
+    Trace t = make_deep_trace(5, static_cast<std::uint64_t>(i));
+    t.end = i;  // spread completion times
+    wh.store(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(propagate_deadline(
+        wh, 0, state.range(0), ServiceId(3), msec(400)));
+  }
+  state.SetLabel("traces=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_DeadlinePropagationWindow)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace sora
+
+BENCHMARK_MAIN();

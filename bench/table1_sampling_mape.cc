@@ -1,0 +1,222 @@
+// Table 1 — optimal-concurrency estimation accuracy (MAPE) of the SCG
+// model across sampling intervals, for three heterogeneous soft resources:
+// Cart server threads, Catalogue DB connections, Post Storage client
+// connections.
+//
+// Paper claim: 100 ms sampling minimizes MAPE for all three services; both
+// finer (noisy buckets) and coarser (missed transients) intervals estimate
+// worse.
+#include "bench_util.h"
+
+#include "common/stats.h"
+#include "core/estimator.h"
+#include "core/scg_model.h"
+
+namespace sora::bench {
+namespace {
+
+constexpr SimTime kDuration = minutes(2);
+const std::vector<SimTime> kIntervals = {msec(10),  msec(20),  msec(50),
+                                         msec(100), msec(200), msec(500)};
+const std::vector<std::uint64_t> kSeeds = {11, 22, 33};
+
+struct Target {
+  std::string name;
+  std::function<ApplicationConfig()> make_app;
+  std::function<ResourceKnob(Application&)> make_knob;
+  int request_class = 0;
+  int users = 0;
+  SimTime rtt = 0;  ///< service-level threshold for the SCG goodput
+  int truth = 0;    ///< ground-truth optimum (filled by a sweep)
+  std::function<void(ApplicationConfig&, int)> set_pool;
+};
+
+std::vector<Target> make_targets() {
+  std::vector<Target> targets;
+  {
+    Target t;
+    t.name = "Cart";
+    t.make_app = [] {
+      sock_shop::Params p;
+      p.cart_cores = 2.0;
+      p.cart_threads = 48;  // generous: let concurrency range freely
+      return sock_shop::make_sock_shop(p);
+    };
+    t.make_knob = [](Application& app) {
+      return ResourceKnob::entry(app.service("cart"));
+    };
+    t.request_class = sock_shop::kBrowse;
+    t.users = 1000;  // near the 2-core Cart's capacity
+    t.rtt = msec(30);
+    t.set_pool = [](ApplicationConfig& cfg, int size) {
+      for (auto& s : cfg.services) {
+        if (s.name == "cart") s.entry_pool_size = size;
+      }
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    Target t;
+    t.name = "Catalogue";
+    t.make_app = [] {
+      sock_shop::Params p;
+      p.catalogue_db_connections = 48;
+      // Keep Cart out of the way: catalogue-db must be the bottleneck.
+      p.cart_cores = 8.0;
+      p.cart_threads = 64;
+      return sock_shop::make_sock_shop(p);
+    };
+    t.make_knob = [](Application& app) {
+      return ResourceKnob::edge(app.service("catalogue"), "catalogue-db");
+    };
+    t.request_class = sock_shop::kBrowse;
+    t.users = 2600;  // near catalogue-db's capacity
+    t.rtt = msec(10);
+    t.set_pool = [](ApplicationConfig& cfg, int size) {
+      for (auto& s : cfg.services) {
+        if (s.name == "catalogue") s.edge_pools["catalogue-db"].size = size;
+      }
+    };
+    targets.push_back(std::move(t));
+  }
+  {
+    Target t;
+    t.name = "Post Storage";
+    t.make_app = [] {
+      social_network::Params p;
+      p.post_storage_connections = 48;
+      return social_network::make_social_network(p);
+    };
+    t.make_knob = [](Application& app) {
+      return ResourceKnob::edge(app.service("home-timeline"), "post-storage");
+    };
+    t.request_class = social_network::kReadTimelineLight;
+    t.users = 1600;  // near Post Storage's capacity
+    t.rtt = msec(15);
+    t.set_pool = [](ApplicationConfig& cfg, int size) {
+      for (auto& s : cfg.services) {
+        if (s.name == "home-timeline") s.edge_pools["post-storage"].size = size;
+      }
+    };
+    targets.push_back(std::move(t));
+  }
+  return targets;
+}
+
+/// SCG estimate of the optimum at one sampling interval (one seed).
+int estimate_once(const Target& t, SimTime interval, std::uint64_t seed) {
+  ExperimentConfig ecfg;
+  ecfg.duration = kDuration;
+  ecfg.seed = seed;
+  Experiment exp(t.make_app(), ecfg);
+  const WorkloadTrace trace(TraceShape::kLargeVariation, kDuration,
+                            t.users * 0.3, t.users);
+  auto& users = exp.closed_loop(t.users / 3, sec(1), RequestMix(t.request_class));
+  users.follow_trace(trace);
+
+  EstimatorOptions opts;
+  opts.sampling_interval = interval;
+  opts.window = kDuration;
+  ConcurrencyEstimator est(exp.sim(), exp.tracer(), opts);
+  const ResourceKnob knob = t.make_knob(exp.app());
+  est.watch(knob);
+  est.set_rt_threshold(knob, t.rtt);
+  exp.run();
+  const auto e = est.estimate(knob);
+  return e.valid ? e.recommended : 0;
+}
+
+/// Ground truth: goodput-argmax over a pool-size sweep at the service-level
+/// threshold (measured client-side at the SLA that corresponds).
+int ground_truth(const Target& t) {
+  // Use the SCG estimate at the paper-best interval averaged over seeds as
+  // the reference sweep seed list is expensive; instead sweep actual pool
+  // sizes and pick the goodput argmax, which is the definition of optimal.
+  const std::vector<int> sizes = {2, 4, 6, 8, 12, 16, 24};
+  int best = sizes.front();
+  double best_gp = -1.0;
+  for (int size : sizes) {
+    ApplicationConfig cfg = t.make_app();
+    t.set_pool(cfg, size);
+    ExperimentConfig ecfg;
+    ecfg.duration = kDuration;
+    ecfg.seed = 99;
+    ecfg.sla = t.rtt;  // client-side SLA not used for truth; see below
+    Experiment exp(std::move(cfg), ecfg);
+    const WorkloadTrace trace(TraceShape::kLargeVariation, kDuration,
+                              t.users * 0.3, t.users);
+    auto& users =
+        exp.closed_loop(t.users / 3, sec(1), RequestMix(t.request_class));
+    users.follow_trace(trace);
+
+    // Measure goodput at the *service* level with the same threshold the
+    // SCG model uses, via a sampler on the knob.
+    ConcurrencyEstimator est(exp.sim(), exp.tracer());
+    const ResourceKnob knob = t.make_knob(exp.app());
+    est.watch(knob);
+    est.set_rt_threshold(knob, t.rtt);
+    exp.run();
+    double gp = 0.0;
+    for (const auto& p : est.sampler(knob)->points()) gp += p.goodput;
+    if (gp > best_gp) {
+      best_gp = gp;
+      best = size;
+    }
+  }
+  return best;
+}
+
+int main_impl() {
+  print_header("Table 1: SCG estimation MAPE vs sampling interval",
+               "Paper: 100ms interval minimizes MAPE for all three services "
+               "(5.83/5.33/12.04%)");
+
+  auto targets = make_targets();
+  TextTable table({"Sampling Interval", "Cart", "Catalogue", "Post Storage"});
+  std::vector<std::vector<double>> mape_by_interval(kIntervals.size());
+
+  for (auto& t : targets) {
+    t.truth = ground_truth(t);
+    std::cout << "ground-truth optimum for " << t.name << ": " << t.truth
+              << "\n";
+  }
+
+  for (std::size_t ii = 0; ii < kIntervals.size(); ++ii) {
+    for (const auto& t : targets) {
+      std::vector<double> actual, predicted;
+      for (std::uint64_t seed : kSeeds) {
+        const int est = estimate_once(t, kIntervals[ii], seed);
+        actual.push_back(static_cast<double>(t.truth));
+        predicted.push_back(static_cast<double>(est));
+      }
+      mape_by_interval[ii].push_back(mape(actual, predicted));
+    }
+  }
+
+  for (std::size_t ii = 0; ii < kIntervals.size(); ++ii) {
+    table.add_row({fmt(to_msec(kIntervals[ii]), 0) + "ms",
+                   fmt(mape_by_interval[ii][0], 2),
+                   fmt(mape_by_interval[ii][1], 2),
+                   fmt(mape_by_interval[ii][2], 2)});
+  }
+  std::cout << "\nMAPE [%]:\n";
+  table.print(std::cout);
+
+  // Which interval wins per service?
+  std::cout << "\nbest interval per service (paper: 100ms for all):\n";
+  const char* names[] = {"Cart", "Catalogue", "Post Storage"};
+  for (int s = 0; s < 3; ++s) {
+    std::size_t best = 0;
+    for (std::size_t ii = 1; ii < kIntervals.size(); ++ii) {
+      if (mape_by_interval[ii][s] < mape_by_interval[best][s]) best = ii;
+    }
+    std::cout << "  " << names[s] << ": " << fmt(to_msec(kIntervals[best]), 0)
+              << "ms\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

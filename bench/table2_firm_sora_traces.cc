@@ -1,0 +1,55 @@
+// Table 2 — FIRM vs. Sora across all six real-world bursty traces:
+// p95 / p99 tail latency and average goodput (RTT = 400 ms).
+//
+// Paper: Sora reduces p95/p99 ~2.2x on average and improves goodput on
+// every trace.
+#include "bench_util.h"
+
+namespace sora::bench {
+namespace {
+
+int main_impl() {
+  print_header("Table 2: FIRM vs Sora, six bursty traces",
+               "Paper: tail latency cut up to 2.5x, goodput improved on all");
+
+  TextTable t({"Workload Trace", "p95 [ms] FIRM/Sora", "p99 [ms] FIRM/Sora",
+               "Goodput-400ms FIRM/Sora", "Sora wins"});
+  double p99_ratio_sum = 0.0;
+  int wins = 0;
+
+  for (TraceShape shape : all_trace_shapes()) {
+    CartTraceConfig cfg;
+    cfg.shape = shape;
+    cfg.duration = minutes(6);
+    cfg.sla = msec(400);
+    cfg.base_users = 600;
+    cfg.peak_users = 2400;
+    cfg.adaptation = SoftAdaptation::kNone;
+    const auto firm = run_cart_trace(cfg);
+    cfg.adaptation = SoftAdaptation::kSora;
+    const auto sora = run_cart_trace(cfg);
+
+    const bool win = sora.summary.p99_ms < firm.summary.p99_ms &&
+                     sora.summary.goodput_rps > firm.summary.goodput_rps;
+    if (win) ++wins;
+    if (sora.summary.p99_ms > 0) {
+      p99_ratio_sum += firm.summary.p99_ms / sora.summary.p99_ms;
+    }
+    t.add_row({to_string(shape),
+               fmt(firm.summary.p95_ms, 0) + " / " + fmt(sora.summary.p95_ms, 0),
+               fmt(firm.summary.p99_ms, 0) + " / " + fmt(sora.summary.p99_ms, 0),
+               fmt(firm.summary.goodput_rps, 0) + " / " +
+                   fmt(sora.summary.goodput_rps, 0),
+               win ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  std::cout << "\nSora wins (lower p99 AND higher goodput) on " << wins
+            << "/6 traces; mean p99 improvement "
+            << fmt(p99_ratio_sum / 6.0, 2) << "x (paper: 2.2x average)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

@@ -1,0 +1,63 @@
+// Table 3 — average goodput, ConScale vs. Sora, across the six bursty
+// traces and two SLA thresholds (250 ms and 500 ms), both on the VPA
+// hardware substrate.
+//
+// Paper: Sora's goodput beats ConScale's on every trace at both SLAs.
+#include <cstdlib>
+
+#include "bench_util.h"
+
+namespace sora::bench {
+namespace {
+
+int main_impl() {
+  print_header("Table 3: ConScale vs Sora goodput, six traces x two SLAs",
+               "Paper: Sora higher goodput everywhere (up to ~1.5x)");
+
+  const std::vector<SimTime> slas = {msec(250), msec(500)};
+  int wins = 0, cells = 0;
+
+  for (SimTime sla : slas) {
+    std::cout << "\nSLA threshold " << to_msec(sla) << "ms:\n";
+    TextTable t({"system", "Large Variation", "Quick Varying", "Slowly Varying",
+                 "Big Spike", "Dual Phase", "SteepTri Phase"});
+    std::vector<std::string> conscale_row, sora_row;
+    std::vector<double> conscale_gp, sora_gp;
+    for (TraceShape shape : all_trace_shapes()) {
+      CartTraceConfig cfg;
+      cfg.shape = shape;
+      cfg.duration = minutes(4);
+      cfg.sla = sla;
+      cfg.demand_scale = 6.0;  // paper-regime service times (see Figure 11)
+      cfg.base_users = 100;
+      cfg.peak_users = 420;
+      cfg.scaler = HardwareScaler::kVpa;
+      cfg.max_cores = 6.0;
+
+      cfg.adaptation = SoftAdaptation::kConScale;
+      const auto conscale = run_cart_trace(cfg);
+      cfg.adaptation = SoftAdaptation::kSora;
+      const auto sora = run_cart_trace(cfg);
+
+      conscale_gp.push_back(conscale.summary.goodput_rps);
+      sora_gp.push_back(sora.summary.goodput_rps);
+      conscale_row.push_back(fmt(conscale.summary.goodput_rps, 0));
+      sora_row.push_back(fmt(sora.summary.goodput_rps, 0));
+      ++cells;
+      if (sora.summary.goodput_rps >= conscale.summary.goodput_rps) ++wins;
+    }
+    conscale_row.insert(conscale_row.begin(), "ConScale");
+    sora_row.insert(sora_row.begin(), "Sora");
+    t.add_row(conscale_row);
+    t.add_row(sora_row);
+    t.print(std::cout);
+  }
+  std::cout << "\nSora goodput >= ConScale in " << wins << "/" << cells
+            << " cells (paper: all)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main() { return sora::bench::main_impl(); }

@@ -1,0 +1,78 @@
+// Example: soft-resource adaptation under system-state drifting.
+//
+// Social Network serves its Read-Home-Timeline flow; mid-run the request
+// type drifts from light (2 posts) to heavy (10 posts), as when a dataset
+// grows. Kubernetes HPA scales Post Storage horizontally; Sora keeps the
+// Home-Timeline -> Post Storage connection pool matched to the replica
+// count and to the new per-request weight (paper Section 5.3).
+//
+//   ./build/examples/social_network_drift
+#include <iostream>
+
+#include "apps/social_network.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+
+using namespace sora;
+
+int main() {
+  social_network::Params params;
+  params.post_storage_connections = 10;  // optimal for light requests
+  ExperimentConfig cfg;
+  cfg.duration = minutes(6);
+  cfg.sla = msec(400);
+  cfg.seed = 2;
+  Experiment exp(social_network::make_social_network(params), cfg);
+
+  const WorkloadTrace trace(TraceShape::kLargeVariation, cfg.duration, 500,
+                            1700);
+  auto& users = exp.closed_loop(
+      500, sec(1), RequestMix(social_network::kReadTimelineLight));
+  users.follow_trace(trace);
+
+  const SimTime drift_at = cfg.duration / 2;
+  exp.sim().schedule_at(drift_at, [&users] {
+    users.set_mix(RequestMix(social_network::kReadTimelineHeavy));
+  });
+
+  HpaOptions hpa_opts;
+  hpa_opts.max_replicas = 4;
+  auto& hpa = exp.add_hpa(hpa_opts);
+  hpa.manage(exp.app().service("post-storage"));
+
+  SoraFrameworkOptions sora_opts;
+  sora_opts.sla = cfg.sla;
+  auto& sora = exp.add_sora(sora_opts);
+  const ResourceKnob knob =
+      ResourceKnob::edge(exp.app().service("home-timeline"), "post-storage");
+  sora.manage(knob);
+  Experiment::link(hpa, sora);
+
+  exp.track_service("home-timeline", "post-storage");
+  exp.track_service("post-storage");
+  exp.run();
+
+  const ExperimentSummary s = exp.summary();
+  std::cout << "=== Social Network, light->heavy drift at t="
+            << to_sec(drift_at) << "s ===\n";
+  std::cout << "p99 latency: " << fmt(s.p99_ms) << " ms, goodput "
+            << fmt(s.goodput_rps) << " req/s\n\n";
+
+  std::cout << "Post Storage replicas / connection pool over time:\n";
+  TextTable t({"t[s]", "PS replicas", "conns to PS (total)", "PS util [%]"});
+  const auto& ps = exp.timeline("post-storage");
+  const auto& ht = exp.timeline("home-timeline");
+  for (std::size_t i = 29; i < ps.size() && i < ht.size(); i += 30) {
+    t.add_row({fmt(to_sec(ps[i].at), 0), fmt_count(ps[i].replicas),
+               fmt_count(ht[i].edge_capacity), fmt(ps[i].util_pct, 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfinal: " << exp.app().service("post-storage")->active_replicas()
+            << " Post Storage replicas, " << knob.total_capacity()
+            << " total connections (" << knob.current_size()
+            << " per Home-Timeline replica)\n";
+  std::cout << "propagated RTT for Post Storage: "
+            << fmt(to_msec(sora.estimator().rt_threshold(knob)), 1) << " ms\n";
+  return 0;
+}

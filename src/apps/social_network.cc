@@ -1,0 +1,212 @@
+#include "apps/social_network.h"
+
+namespace sora::social_network {
+
+namespace {
+constexpr int kLight = kReadTimelineLight;
+constexpr int kCompose = kComposePost;
+constexpr int kHeavy = kReadTimelineHeavy;
+}  // namespace
+
+ApplicationConfig make_social_network(const Params& params) {
+  const double ds = params.demand_scale;
+  ApplicationConfig app;
+
+  // ---- nginx front-end ----------------------------------------------------
+  {
+    ServiceConfig s;
+    s.name = "nginx-front-end";
+    s.with_cores(8).with_overhead(0.1).with_entry_pool(0);
+    s.with_demand(kLight, 150 * ds, 100 * ds, 0.4);
+    s.with_call(kLight, "home-timeline");
+    s.with_demand(kHeavy, 150 * ds, 100 * ds, 0.4);
+    s.with_call(kHeavy, "home-timeline");
+    s.with_demand(kCompose, 200 * ds, 120 * ds, 0.4);
+    s.with_call(kCompose, "compose-post");
+    app.services.push_back(s);
+  }
+
+  // ---- read path ------------------------------------------------------------
+  {
+    ServiceConfig s;
+    s.name = "home-timeline";
+    s.with_cores(params.home_timeline_cores)
+        .with_overhead(0.15)
+        .with_entry_pool(params.home_timeline_threads);
+    s.with_edge_pool("post-storage", params.post_storage_connections,
+                     PoolKind::kClientConnections);
+    // Read the timeline index from redis, then fetch posts.
+    s.with_demand(kLight, 600 * ds, 350 * ds, 0.6);
+    s.with_call(kLight, "home-timeline-redis");
+    s.with_call(kLight, "post-storage");
+    s.with_demand(kHeavy, 700 * ds, 450 * ds, 0.6);
+    s.with_call(kHeavy, "home-timeline-redis");
+    s.with_call(kHeavy, "post-storage");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "home-timeline-redis";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kLight, 300 * ds, 0, 0.5);
+    s.with_demand(kHeavy, 350 * ds, 0, 0.5);
+    s.with_demand(kCompose, 250 * ds, 0, 0.5);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "post-storage";
+    s.with_cores(params.post_storage_cores)
+        .with_overhead(params.post_storage_overhead)
+        .with_entry_pool(0)
+        .with_replicas(params.post_storage_replicas);
+    // Light request: 2 posts - memcached hit plus one mongo fetch.
+    s.with_demand(kLight, 900 * ds, 500 * ds, 0.7);
+    s.with_call(kLight, "post-storage-memcached");
+    s.with_call(kLight, "post-storage-mongo");
+    // Heavy request: 10 posts - more local computation, and the bulk of the
+    // extra work lands on MongoDB (longer connection-holding time), which
+    // is what shifts the optimal connection count up (Figure 3f).
+    s.with_demand(kHeavy, 3500 * ds, 1500 * ds, 0.7);
+    s.with_call(kHeavy, "post-storage-memcached");
+    s.with_call(kHeavy, "post-storage-mongo");
+    // Compose writes one post.
+    s.with_demand(kCompose, 1100 * ds, 500 * ds, 0.7);
+    s.with_call(kCompose, "post-storage-mongo");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "post-storage-memcached";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(512);
+    s.with_demand(kLight, 250 * ds, 0, 0.4);
+    s.with_demand(kHeavy, 500 * ds, 0, 0.4);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "post-storage-mongo";
+    s.with_cores(params.mongo_cores).with_overhead(0.1).with_entry_pool(512);
+    s.with_demand(kLight, 1400 * ds, 0, 0.8);
+    s.with_demand(kHeavy, 6500 * ds, 0, 0.8);
+    s.with_demand(kCompose, 1800 * ds, 0, 0.8);
+    app.services.push_back(s);
+  }
+
+  // ---- compose path -----------------------------------------------------------
+  {
+    ServiceConfig s;
+    s.name = "compose-post";
+    s.with_cores(2).with_overhead(0.2).with_entry_pool(64);
+    s.with_demand(kCompose, 900 * ds, 600 * ds, 0.6);
+    s.with_parallel_calls(kCompose, {"unique-id", "media", "user", "text"});
+    s.with_parallel_calls(kCompose,
+                          {"post-storage", "user-timeline", "write-home-timeline"});
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "unique-id";
+    s.with_cores(1).with_overhead(0.1).with_entry_pool(64);
+    s.with_demand(kCompose, 200 * ds, 0, 0.3);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "media";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCompose, 800 * ds, 300 * ds, 0.6);
+    s.with_call(kCompose, "media-mongo");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "media-mongo";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kCompose, 1200 * ds, 0, 0.7);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "user";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCompose, 500 * ds, 200 * ds, 0.5);
+    s.with_call(kCompose, "user-mongo");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "user-mongo";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kCompose, 900 * ds, 0, 0.6);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "text";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCompose, 700 * ds, 300 * ds, 0.6);
+    s.with_parallel_calls(kCompose, {"url-shorten", "user-tag"});
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "url-shorten";
+    s.with_cores(1).with_overhead(0.1).with_entry_pool(64);
+    s.with_demand(kCompose, 400 * ds, 0, 0.4);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "user-tag";
+    s.with_cores(1).with_overhead(0.1).with_entry_pool(64);
+    s.with_demand(kCompose, 450 * ds, 0, 0.4);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "user-timeline";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCompose, 600 * ds, 250 * ds, 0.5);
+    s.with_call(kCompose, "user-timeline-mongo");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "user-timeline-mongo";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kCompose, 1100 * ds, 0, 0.7);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "write-home-timeline";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCompose, 700 * ds, 300 * ds, 0.6);
+    s.with_call(kCompose, "social-graph");
+    s.with_call(kCompose, "home-timeline-redis");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "social-graph";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCompose, 500 * ds, 200 * ds, 0.5);
+    s.with_call(kCompose, "social-graph-redis");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "social-graph-redis";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kCompose, 400 * ds, 0, 0.5);
+    app.services.push_back(s);
+  }
+
+  app.entry_service[kLight] = "nginx-front-end";
+  app.entry_service[kCompose] = "nginx-front-end";
+  app.entry_service[kHeavy] = "nginx-front-end";
+  return app;
+}
+
+}  // namespace sora::social_network

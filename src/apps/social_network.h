@@ -1,0 +1,39 @@
+// Social Network benchmark application (DeathStarBench), per Figure 2(ii):
+// a broadcast-style social network. The Apache Thrift services gate their
+// RPCs with ClientPool connection pools — the Home-Timeline -> Post Storage
+// pool is the experiment knob of Figures 9(c) and 12.
+//
+// Request classes model the paper's "system state drifting": the same
+// Read-Home-Timeline call graph with light (retrieve 2 posts) vs heavy
+// (retrieve 10 posts) computation at Post Storage and its MongoDB.
+#pragma once
+
+#include "svc/config.h"
+
+namespace sora::social_network {
+
+enum RequestClass : int {
+  kReadTimelineLight = 0,  ///< retrieve 2 posts
+  kComposePost = 1,
+  kReadTimelineHeavy = 2,  ///< retrieve 10 posts (state drift)
+};
+
+struct Params {
+  // Post Storage (Thrift): ClientPool from Home-Timeline is the knob.
+  double post_storage_cores = 2.0;
+  int post_storage_connections = 10;  ///< per Home-Timeline replica
+  double post_storage_overhead = 0.2;
+  int post_storage_replicas = 1;
+
+  double home_timeline_cores = 4.0;
+  int home_timeline_threads = 64;
+
+  double mongo_cores = 8.0;
+
+  double demand_scale = 1.0;
+};
+
+/// Build the Social Network topology. Entry service is "nginx-front-end".
+ApplicationConfig make_social_network(const Params& params = {});
+
+}  // namespace sora::social_network

@@ -1,0 +1,154 @@
+#include "apps/sock_shop.h"
+
+namespace sora::sock_shop {
+
+// Demand calibration notes (microseconds of CPU per request):
+//  * Cart threads spend most of their time blocked on cart-db, so the
+//    optimal thread pool is several times the core count (paper Fig. 3).
+//  * cart-db is provisioned with enough cores that a 4-core Cart, not the
+//    database, is the bottleneck of the browse/cart paths.
+//  * catalogue-db on 4 cores with ~2.2 ms requests puts the DB-connection
+//    knee in the 10-20 range at ~10 ms thresholds (paper Fig. 9b).
+ApplicationConfig make_sock_shop(const Params& params) {
+  const double ds = params.demand_scale;
+  ApplicationConfig app;
+
+  // ---- front-end (Node.js-style, high parallelism) -------------------------
+  {
+    ServiceConfig s;
+    s.name = "front-end";
+    s.with_cores(8).with_overhead(0.1).with_entry_pool(0);
+    // kBrowse: parallel fan-out to cart + catalogue + recommender (Fig. 5).
+    s.with_demand(kBrowse, 250 * ds, 150 * ds, 0.5);
+    s.with_parallel_calls(kBrowse, {"cart", "catalogue", "recommender"});
+    // kCart: cart then user, sequentially.
+    s.with_demand(kCart, 250 * ds, 150 * ds, 0.5);
+    s.with_call(kCart, "cart");
+    s.with_call(kCart, "user");
+    // kCheckout: orders pipeline.
+    s.with_demand(kCheckout, 300 * ds, 200 * ds, 0.5);
+    s.with_call(kCheckout, "orders");
+    app.services.push_back(s);
+  }
+
+  // ---- cart (SpringBoot; server thread pool = knob) -------------------------
+  {
+    ServiceConfig s;
+    s.name = "cart";
+    s.with_cores(params.cart_cores)
+        .with_overhead(params.cart_overhead)
+        .with_entry_pool(params.cart_threads, PoolKind::kServerThreads);
+    s.with_demand(kBrowse, 1100 * ds, 700 * ds, 0.7);
+    s.with_call(kBrowse, "cart-db");
+    s.with_demand(kCart, 1300 * ds, 800 * ds, 0.7);
+    s.with_call(kCart, "cart-db");
+    s.with_demand(kCheckout, 900 * ds, 600 * ds, 0.7);
+    s.with_call(kCheckout, "cart-db");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "cart-db";
+    s.with_cores(params.db_cores).with_overhead(0.1).with_entry_pool(512);
+    s.with_demand(kBrowse, 2500 * ds, 0, 0.8);
+    s.with_demand(kCart, 3200 * ds, 0, 0.8);
+    s.with_demand(kCheckout, 2800 * ds, 0, 0.8);
+    app.services.push_back(s);
+  }
+
+  // ---- catalogue (Golang; DB connection pool = knob) -------------------------
+  {
+    ServiceConfig s;
+    s.name = "catalogue";
+    s.with_cores(params.catalogue_cores).with_overhead(0.15).with_entry_pool(0);
+    s.with_edge_pool("catalogue-db", params.catalogue_db_connections,
+                     PoolKind::kDbConnections);
+    s.with_demand(kBrowse, 700 * ds, 400 * ds, 0.6);
+    s.with_call(kBrowse, "catalogue-db");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "catalogue-db";
+    s.with_cores(4).with_overhead(0.1).with_entry_pool(512);
+    s.with_demand(kBrowse, 1600 * ds, 0, 0.7);
+    app.services.push_back(s);
+  }
+
+  // ---- user -------------------------------------------------------------------
+  {
+    ServiceConfig s;
+    s.name = "user";
+    s.with_cores(2).with_overhead(0.15).with_entry_pool(64);
+    s.with_demand(kCart, 800 * ds, 400 * ds, 0.6);
+    s.with_call(kCart, "user-db");
+    s.with_demand(kCheckout, 700 * ds, 300 * ds, 0.6);
+    s.with_call(kCheckout, "user-db");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "user-db";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kCart, 1500 * ds, 0, 0.7);
+    s.with_demand(kCheckout, 1200 * ds, 0, 0.7);
+    app.services.push_back(s);
+  }
+
+  // ---- orders pipeline ---------------------------------------------------------
+  {
+    ServiceConfig s;
+    s.name = "orders";
+    s.with_cores(2).with_overhead(0.2).with_entry_pool(64);
+    s.with_demand(kCheckout, 1500 * ds, 1000 * ds, 0.6);
+    s.with_parallel_calls(kCheckout, {"payment", "user", "cart"});
+    s.with_call(kCheckout, "order-db");
+    s.with_call(kCheckout, "shipping");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "order-db";
+    s.with_cores(2).with_overhead(0.1).with_entry_pool(256);
+    s.with_demand(kCheckout, 2000 * ds, 0, 0.7);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "payment";
+    s.with_cores(1).with_overhead(0.15).with_entry_pool(32);
+    s.with_demand(kCheckout, 900 * ds, 0, 0.5);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "shipping";
+    s.with_cores(1).with_overhead(0.15).with_entry_pool(32);
+    s.with_demand(kCheckout, 800 * ds, 300 * ds, 0.5);
+    s.with_call(kCheckout, "queue-master");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "queue-master";
+    s.with_cores(1).with_overhead(0.1).with_entry_pool(32);
+    s.with_demand(kCheckout, 600 * ds, 0, 0.5);
+    app.services.push_back(s);
+  }
+
+  // ---- recommender ---------------------------------------------------------------
+  {
+    ServiceConfig s;
+    s.name = "recommender";
+    s.with_cores(4).with_overhead(0.15).with_entry_pool(128);
+    s.with_demand(kBrowse, 900 * ds, 0, 0.6);
+    app.services.push_back(s);
+  }
+
+  app.entry_service[kBrowse] = "front-end";
+  app.entry_service[kCart] = "front-end";
+  app.entry_service[kCheckout] = "front-end";
+  return app;
+}
+
+}  // namespace sora::sock_shop

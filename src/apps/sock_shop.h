@@ -1,0 +1,46 @@
+// Sock Shop benchmark application (microservices-demo), as deployed in the
+// paper's testbed (Figure 2i): an e-commerce site whose component services
+// are heterogeneous — the SpringBoot Cart manages an explicit server thread
+// pool, the Golang Catalogue delegates request concurrency to goroutines
+// but gates its database access with a connection pool.
+//
+// CPU demands are calibrated so that a 4-core Cart saturates around the
+// request rates the figure benches drive, and so that threads spend most of
+// their time blocked on the database — which is why the optimal thread pool
+// (tens) far exceeds the core count, as in the paper.
+#pragma once
+
+#include "svc/config.h"
+
+namespace sora::sock_shop {
+
+/// Request classes.
+enum RequestClass : int {
+  kBrowse = 0,    ///< front-end -> {cart, catalogue} -> dbs   (Figure 5)
+  kCart = 1,      ///< front-end -> cart -> cart-db, user
+  kCheckout = 2,  ///< front-end -> orders -> {payment, user, cart}, shipping
+};
+
+struct Params {
+  // Cart (SpringBoot): server thread pool is the experiment knob.
+  double cart_cores = 2.0;
+  int cart_threads = 5;
+  double cart_overhead = 0.25;
+
+  // Catalogue (Golang): DB connection pool is the experiment knob.
+  double catalogue_cores = 4.0;
+  int catalogue_db_connections = 10;
+
+  // Databases (cart-db must have headroom so Cart, not the DB, bottlenecks
+  // the browse path — see calibration notes in sock_shop.cc).
+  double db_cores = 8.0;
+
+  // Global demand scale (1.0 = calibrated defaults).
+  double demand_scale = 1.0;
+};
+
+/// Build the Sock Shop topology. Entry service is "front-end" for all
+/// request classes.
+ApplicationConfig make_sock_shop(const Params& params = {});
+
+}  // namespace sora::sock_shop

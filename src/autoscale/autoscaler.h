@@ -1,0 +1,80 @@
+// Hardware-only autoscaler interface.
+//
+// Sora is deliberately decoupled from the hardware scaler (Section 4.1,
+// Reallocation Module): any autoscaler that emits scale events can be
+// paired with the Concurrency Adapter. Implementations here: Kubernetes
+// HPA (horizontal, rule-based), a threshold VPA (vertical), and a
+// FIRM-like fine-grained vertical scaler driven by SLO violations and
+// critical-service localization.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace sora {
+
+class Application;
+class Service;
+
+struct ScaleEvent {
+  enum class Kind { kHorizontal, kVertical };
+  Service* service = nullptr;
+  Kind kind = Kind::kHorizontal;
+  int old_replicas = 0;
+  int new_replicas = 0;
+  double old_cores = 0.0;
+  double new_cores = 0.0;
+  SimTime at = 0;
+};
+
+class Autoscaler {
+ public:
+  using ScaleListener = std::function<void(const ScaleEvent&)>;
+
+  virtual ~Autoscaler() = default;
+
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  virtual const char* name() const = 0;
+
+  void add_scale_listener(ScaleListener cb) {
+    listeners_.push_back(std::move(cb));
+  }
+
+  const std::vector<ScaleEvent>& history() const { return history_; }
+
+ protected:
+  void notify(const ScaleEvent& ev) {
+    history_.push_back(ev);
+    for (const auto& cb : listeners_) cb(ev);
+  }
+
+ private:
+  std::vector<ScaleListener> listeners_;
+  std::vector<ScaleEvent> history_;
+};
+
+/// Snapshot-based CPU utilization tracker shared by the scalers: call
+/// epoch() each control period; utilization() reports the mean utilization
+/// of a service since the previous epoch.
+class UtilizationTracker {
+ public:
+  explicit UtilizationTracker(Application& app);
+
+  /// Mean utilization (0..1 of the limit) of `service` since the last epoch.
+  double utilization(const Service& service) const;
+
+  /// Advance the epoch (snapshot integrals).
+  void epoch();
+
+ private:
+  Application& app_;
+  SimTime epoch_start_ = 0;
+  std::map<std::uint64_t, double> busy_;  // service id -> busy integral
+};
+
+}  // namespace sora

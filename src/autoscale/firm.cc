@@ -1,0 +1,110 @@
+#include "autoscale/firm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "svc/application.h"
+#include "svc/service.h"
+
+namespace sora {
+
+FirmAutoscaler::FirmAutoscaler(Simulator& sim, Application& app,
+                               const TraceWarehouse& warehouse,
+                               FirmOptions options)
+    : sim_(sim),
+      app_(app),
+      warehouse_(warehouse),
+      options_(options),
+      util_(app),
+      localizer_(app, warehouse, options.localizer) {}
+
+void FirmAutoscaler::manage(Service* service) {
+  allowed_services_.push_back(service);
+}
+
+bool FirmAutoscaler::allowed(const Service& svc) const {
+  if (allowed_services_.empty()) return true;
+  for (const Service* s : allowed_services_) {
+    if (s == &svc) return true;
+  }
+  return false;
+}
+
+void FirmAutoscaler::start() {
+  util_.epoch();
+  localizer_.begin_window();
+  window_start_ = sim_.now();
+  tick_event_ = sim_.schedule_periodic(options_.period, [this] { tick(); });
+}
+
+void FirmAutoscaler::stop() { tick_event_.cancel(); }
+
+void FirmAutoscaler::tick() {
+  const SimTime now = sim_.now();
+
+  // End-to-end p99 over the last window, from the trace warehouse.
+  std::vector<double> rts;
+  warehouse_.for_each_in_window(window_start_, now, [&](const Trace& t) {
+    rts.push_back(static_cast<double>(t.response_time()));
+  });
+  const double p99 = percentile(rts, 99.0);
+
+  // Critical-service localization (FIRM step).
+  last_report_ = localizer_.analyze();
+  localizer_.begin_window();
+  window_start_ = now;
+
+  Service* critical = app_.service(last_report_.critical);
+  if (critical == nullptr || !allowed(*critical)) {
+    // Fall back to the managed service when localization is ambiguous.
+    critical = allowed_services_.empty() ? nullptr : allowed_services_.front();
+  }
+  if (critical == nullptr) {
+    util_.epoch();
+    return;
+  }
+
+  const double util = util_.utilization(*critical);
+  const double current = critical->cpu_limit();
+  double desired = current;
+
+  const bool violating =
+      p99 > static_cast<double>(options_.slo_latency) ||
+      util > options_.high_utilization;
+  const bool relaxed =
+      p99 < options_.relax_fraction * static_cast<double>(options_.slo_latency) &&
+      util < options_.low_utilization;
+
+  if (violating) {
+    low_periods_ = 0;
+    desired = std::min(options_.max_cores, current + options_.step_cores);
+  } else if (relaxed) {
+    ++low_periods_;
+    if (low_periods_ >= options_.downscale_stabilization_periods) {
+      desired = std::max(options_.min_cores, current - options_.step_cores);
+      low_periods_ = 0;
+    }
+  } else {
+    low_periods_ = 0;
+  }
+
+  if (desired != current) {
+    critical->set_cpu_limit(desired);
+    ScaleEvent ev;
+    ev.service = critical;
+    ev.kind = ScaleEvent::Kind::kVertical;
+    ev.old_replicas = ev.new_replicas = critical->active_replicas();
+    ev.old_cores = current;
+    ev.new_cores = desired;
+    ev.at = now;
+    notify(ev);
+    SORA_INFO << "FIRM " << critical->name() << " cores " << current << " -> "
+              << desired << " (p99 " << to_msec(static_cast<SimTime>(p99))
+              << "ms, util " << util << ")";
+  }
+  util_.epoch();
+}
+
+}  // namespace sora

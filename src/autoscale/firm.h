@@ -1,0 +1,70 @@
+// FIRM-like fine-grained hardware-only resource manager.
+//
+// FIRM (Qiu et al., OSDI '20) localizes the critical microservice instance
+// and reprovisions its hardware (CPU) to curb SLO violations; it never
+// re-adapts soft resources — exactly the property the paper's Section 5.2
+// comparison exercises. The RL policy internals are irrelevant to that
+// comparison, so this implementation keeps FIRM's structure (tracing-based
+// critical-service localization + fine-grained vertical CPU scaling driven
+// by measured tail latency against the SLO) with a deterministic policy:
+//
+//   * p99(end-to-end) > slo_latency, or utilization > high  ->  +step cores
+//   * p99 < relax_fraction * slo and utilization < low      ->  -step cores
+#pragma once
+
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "core/localization.h"
+#include "sim/simulator.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+
+struct FirmOptions {
+  SimTime period = sec(15);
+  SimTime slo_latency = msec(400);  ///< end-to-end p99 objective
+  double high_utilization = 0.8;
+  double low_utilization = 0.35;
+  double relax_fraction = 0.4;  ///< p99 below this x SLO allows scale-down
+  double step_cores = 1.0;
+  double min_cores = 1.0;
+  double max_cores = 8.0;
+  int downscale_stabilization_periods = 4;
+  LocalizerOptions localizer;
+};
+
+class FirmAutoscaler : public Autoscaler {
+ public:
+  FirmAutoscaler(Simulator& sim, Application& app,
+                 const TraceWarehouse& warehouse, FirmOptions options);
+
+  /// Restrict scaling decisions to this set (empty = any service the
+  /// localizer identifies as critical).
+  void manage(Service* service);
+
+  void start() override;
+  void stop() override;
+  const char* name() const override { return "firm"; }
+
+  /// Most recent localization verdict (diagnostics).
+  const CriticalServiceReport& last_report() const { return last_report_; }
+
+ private:
+  void tick();
+  bool allowed(const Service& svc) const;
+
+  Simulator& sim_;
+  Application& app_;
+  const TraceWarehouse& warehouse_;
+  FirmOptions options_;
+  UtilizationTracker util_;
+  CriticalServiceLocalizer localizer_;
+  std::vector<Service*> allowed_services_;
+  CriticalServiceReport last_report_;
+  SimTime window_start_ = 0;
+  int low_periods_ = 0;
+  EventHandle tick_event_;
+};
+
+}  // namespace sora

@@ -1,0 +1,82 @@
+#include "autoscale/hpa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "svc/application.h"
+#include "svc/service.h"
+
+namespace sora {
+
+HorizontalPodAutoscaler::HorizontalPodAutoscaler(Simulator& sim,
+                                                 Application& app,
+                                                 HpaOptions options)
+    : sim_(sim), app_(app), options_(options), util_(app) {}
+
+void HorizontalPodAutoscaler::manage(Service* service) {
+  managed_.push_back(Managed{service, 0, 0});
+}
+
+void HorizontalPodAutoscaler::start() {
+  util_.epoch();
+  tick_event_ = sim_.schedule_periodic(options_.period, [this] { tick(); });
+}
+
+void HorizontalPodAutoscaler::stop() { tick_event_.cancel(); }
+
+void HorizontalPodAutoscaler::tick() {
+  for (Managed& m : managed_) {
+    Service& svc = *m.service;
+    const double util = util_.utilization(svc);
+    const int current = svc.active_replicas();
+    const double ratio = util / options_.target_utilization;
+
+    int desired = current;
+    if (std::abs(ratio - 1.0) > options_.tolerance) {
+      desired = static_cast<int>(std::ceil(static_cast<double>(current) * ratio));
+    }
+    desired = std::clamp(desired, options_.min_replicas, options_.max_replicas);
+
+    if (desired > current) {
+      m.low_periods = 0;
+      svc.scale_replicas(desired);
+      ScaleEvent ev;
+      ev.service = &svc;
+      ev.kind = ScaleEvent::Kind::kHorizontal;
+      ev.old_replicas = current;
+      ev.new_replicas = desired;
+      ev.old_cores = ev.new_cores = svc.cpu_limit();
+      ev.at = sim_.now();
+      notify(ev);
+      SORA_INFO << "HPA scale-out " << svc.name() << " " << current << " -> "
+                << desired << " (util " << util << ")";
+    } else if (desired < current) {
+      // Downscale stabilization: require consistent low desire.
+      ++m.low_periods;
+      m.pending_down = std::max(desired, m.pending_down);
+      if (m.low_periods >= options_.downscale_stabilization_periods) {
+        const int target = std::max(desired, m.pending_down);
+        svc.scale_replicas(target);
+        ScaleEvent ev;
+        ev.service = &svc;
+        ev.kind = ScaleEvent::Kind::kHorizontal;
+        ev.old_replicas = current;
+        ev.new_replicas = target;
+        ev.old_cores = ev.new_cores = svc.cpu_limit();
+        ev.at = sim_.now();
+        notify(ev);
+        SORA_INFO << "HPA scale-in " << svc.name() << " " << current << " -> "
+                  << target << " (util " << util << ")";
+        m.low_periods = 0;
+        m.pending_down = 0;
+      }
+    } else {
+      m.low_periods = 0;
+      m.pending_down = 0;
+    }
+  }
+  util_.epoch();
+}
+
+}  // namespace sora

@@ -1,0 +1,58 @@
+// Kubernetes Horizontal Pod Autoscaler (rule-based).
+//
+// Implements the standard HPA control law: every control period (default
+// 15 s, matching the paper), desired replicas = ceil(current * utilization
+// / target). Scale-up applies immediately; scale-down waits for a
+// stabilization window of consistently low desire, mirroring Kubernetes'
+// downscale stabilization.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "sim/simulator.h"
+
+namespace sora {
+
+struct HpaOptions {
+  SimTime period = sec(15);
+  double target_utilization = 0.8;
+  int min_replicas = 1;
+  int max_replicas = 8;
+  /// Consecutive periods of low desired count before scaling down.
+  int downscale_stabilization_periods = 4;
+  /// Ignore utilization within this tolerance of the target (K8s: 10%).
+  double tolerance = 0.1;
+};
+
+class HorizontalPodAutoscaler : public Autoscaler {
+ public:
+  HorizontalPodAutoscaler(Simulator& sim, Application& app, HpaOptions options);
+
+  /// Put a service under HPA control.
+  void manage(Service* service);
+
+  void start() override;
+  void stop() override;
+  const char* name() const override { return "k8s-hpa"; }
+
+ private:
+  void tick();
+
+  struct Managed {
+    Service* service;
+    int low_periods = 0;
+    int pending_down = 0;
+  };
+
+  Simulator& sim_;
+  Application& app_;
+  HpaOptions options_;
+  UtilizationTracker util_;
+  std::vector<Managed> managed_;
+  EventHandle tick_event_;
+};
+
+}  // namespace sora

@@ -1,0 +1,63 @@
+#include "autoscale/vpa.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "svc/application.h"
+#include "svc/service.h"
+
+namespace sora {
+
+VerticalPodAutoscaler::VerticalPodAutoscaler(Simulator& sim, Application& app,
+                                             VpaOptions options)
+    : sim_(sim), app_(app), options_(options), util_(app) {}
+
+void VerticalPodAutoscaler::manage(Service* service) {
+  managed_.push_back(Managed{service, 0});
+}
+
+void VerticalPodAutoscaler::start() {
+  util_.epoch();
+  tick_event_ = sim_.schedule_periodic(options_.period, [this] { tick(); });
+}
+
+void VerticalPodAutoscaler::stop() { tick_event_.cancel(); }
+
+void VerticalPodAutoscaler::tick() {
+  for (Managed& m : managed_) {
+    Service& svc = *m.service;
+    const double util = util_.utilization(svc);
+    const double current = svc.cpu_limit();
+    double desired = current;
+
+    if (util > options_.high_utilization) {
+      m.low_periods = 0;
+      desired = std::min(options_.max_cores, current + options_.step_cores);
+    } else if (util < options_.low_utilization) {
+      ++m.low_periods;
+      if (m.low_periods >= options_.downscale_stabilization_periods) {
+        desired = std::max(options_.min_cores, current - options_.step_cores);
+        m.low_periods = 0;
+      }
+    } else {
+      m.low_periods = 0;
+    }
+
+    if (desired != current) {
+      svc.set_cpu_limit(desired);
+      ScaleEvent ev;
+      ev.service = &svc;
+      ev.kind = ScaleEvent::Kind::kVertical;
+      ev.old_replicas = ev.new_replicas = svc.active_replicas();
+      ev.old_cores = current;
+      ev.new_cores = desired;
+      ev.at = sim_.now();
+      notify(ev);
+      SORA_INFO << "VPA " << svc.name() << " cores " << current << " -> "
+                << desired << " (util " << util << ")";
+    }
+  }
+  util_.epoch();
+}
+
+}  // namespace sora

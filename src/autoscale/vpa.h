@@ -1,0 +1,53 @@
+// Threshold-based Vertical Pod Autoscaler.
+//
+// Adjusts a service's per-replica CPU limit in whole-core steps when its
+// utilization crosses thresholds — the "simple threshold-based hardware
+// scaling solution (Kubernetes VPA)" both ConScale and Sora are paired
+// with in Section 5.2.
+#pragma once
+
+#include <vector>
+
+#include "autoscale/autoscaler.h"
+#include "sim/simulator.h"
+
+namespace sora {
+
+struct VpaOptions {
+  SimTime period = sec(15);
+  double high_utilization = 0.8;  ///< scale up above this
+  double low_utilization = 0.35;  ///< scale down below this
+  double step_cores = 1.0;
+  double min_cores = 1.0;
+  double max_cores = 8.0;
+  /// Consecutive low periods before scaling down.
+  int downscale_stabilization_periods = 4;
+};
+
+class VerticalPodAutoscaler : public Autoscaler {
+ public:
+  VerticalPodAutoscaler(Simulator& sim, Application& app, VpaOptions options);
+
+  void manage(Service* service);
+
+  void start() override;
+  void stop() override;
+  const char* name() const override { return "k8s-vpa"; }
+
+ private:
+  void tick();
+
+  struct Managed {
+    Service* service;
+    int low_periods = 0;
+  };
+
+  Simulator& sim_;
+  Application& app_;
+  VpaOptions options_;
+  UtilizationTracker util_;
+  std::vector<Managed> managed_;
+  EventHandle tick_event_;
+};
+
+}  // namespace sora

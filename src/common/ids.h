@@ -1,0 +1,64 @@
+// Strong identifier types.
+//
+// Distinct tag types prevent accidentally passing, say, a ServiceId where a
+// RequestId is expected. Ids are cheap value types (a single uint64).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace sora {
+
+/// A strongly-typed integer identifier. `Tag` is an empty struct used only
+/// to make different id families incompatible at compile time.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint64_t v) : value_(v) {}
+
+  constexpr std::uint64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ != kInvalid; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  static constexpr std::uint64_t kInvalid = UINT64_MAX;
+
+ private:
+  std::uint64_t value_ = kInvalid;
+};
+
+struct ServiceTag {};
+struct InstanceTag {};
+struct RequestTag {};
+struct TraceTag {};
+struct SpanTag {};
+
+using ServiceId = Id<ServiceTag>;    ///< A logical microservice (e.g. "cart").
+using InstanceId = Id<InstanceTag>;  ///< One replica/pod of a service.
+using RequestId = Id<RequestTag>;    ///< One end-user request.
+using TraceId = Id<TraceTag>;        ///< Distributed trace of one request.
+using SpanId = Id<SpanTag>;          ///< One service visit within a trace.
+
+/// Monotonic id generator; one per id family per simulation.
+template <typename IdT>
+class IdGenerator {
+ public:
+  IdT next() { return IdT(next_++); }
+
+ private:
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace sora
+
+namespace std {
+template <typename Tag>
+struct hash<sora::Id<Tag>> {
+  size_t operator()(sora::Id<Tag> id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

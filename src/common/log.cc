@@ -1,0 +1,35 @@
+#include "common/log.h"
+
+namespace sora {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+std::string_view level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg) {
+  if (level < g_level) return;
+  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace sora

@@ -1,0 +1,50 @@
+// Minimal leveled logging for the simulator and framework components.
+// Defaults to WARN so benchmark output stays clean; tests and examples can
+// raise verbosity.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace sora {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace sora
+
+#define SORA_LOG(level)                            \
+  if (::sora::LogLevel::level < ::sora::log_level()) {} else \
+    ::sora::detail::LogMessage(::sora::LogLevel::level)
+
+#define SORA_DEBUG SORA_LOG(kDebug)
+#define SORA_INFO SORA_LOG(kInfo)
+#define SORA_WARN SORA_LOG(kWarn)
+#define SORA_ERROR SORA_LOG(kError)

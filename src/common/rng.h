@@ -1,0 +1,132 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the simulator owns an Rng seeded from the
+// experiment seed, so a run is fully reproducible. The generator is
+// xoshiro256++ (public domain, Blackman & Vigna), seeded via SplitMix64.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sora {
+
+/// xoshiro256++ generator with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() { return Rng(next_u64()); }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) { return next_u64() % n; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal parameterized by its own mean and coefficient of variation
+  /// (cv = stddev/mean). Used for CPU service demands: right-skewed, as
+  /// observed for real microservice processing times.
+  double lognormal_mean_cv(double mean, double cv) {
+    if (cv <= 0.0) return mean;
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(mu + std::sqrt(sigma2) * normal());
+  }
+
+  /// Poisson-distributed count with the given mean (inversion for small
+  /// means, normal approximation for large).
+  std::uint64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double l = std::exp(-mean);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double v = normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
+  }
+
+  /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed demands).
+  double bounded_pareto(double alpha, double lo, double hi) {
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace sora

@@ -1,0 +1,57 @@
+// Small statistics helpers shared across the project: moments, Pearson
+// correlation (critical-service localization), MAPE (Table 1), percentiles.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sora {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance; 0 for fewer than 2 elements.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series is constant or the series are empty.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean absolute percentage error of predictions vs. actuals (in percent).
+/// Pairs whose actual value is 0 are skipped.
+double mape(std::span<const double> actual, std::span<const double> predicted);
+
+/// p-th percentile (p in [0,100]) by linear interpolation of the sorted
+/// sample. Returns 0 for an empty sample. The input is copied, not mutated.
+double percentile(std::span<const double> xs, double p);
+
+/// Percentile of an already-sorted sample (no copy).
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace sora

@@ -1,0 +1,144 @@
+#include "core/adapter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "svc/service.h"
+
+namespace sora {
+
+const char* to_string(AdaptAction::Type type) {
+  switch (type) {
+    case AdaptAction::Type::kNone:
+      return "none";
+    case AdaptAction::Type::kApplied:
+      return "applied";
+    case AdaptAction::Type::kExplored:
+      return "explored";
+    case AdaptAction::Type::kProportional:
+      return "proportional";
+  }
+  return "?";
+}
+
+ConcurrencyAdapter::ConcurrencyAdapter(AdapterOptions options)
+    : options_(options) {}
+
+int ConcurrencyAdapter::clamp_size(double size) const {
+  return std::clamp(static_cast<int>(std::lround(size)), options_.min_size,
+                    options_.max_size);
+}
+
+ConcurrencyAdapter::KnobState& ConcurrencyAdapter::state(
+    const ResourceKnob& knob) {
+  for (auto& [k, s] : states_) {
+    if (k == knob) return s;
+  }
+  states_.emplace_back(knob, KnobState{});
+  return states_.back().second;
+}
+
+AdaptAction ConcurrencyAdapter::adapt(const ResourceKnob& knob,
+                                      const ConcurrencyEstimate& est,
+                                      double recent_concurrency, SimTime now,
+                                      double good_fraction) {
+  AdaptAction action;
+  action.at = now;
+  action.old_size = knob.current_size();
+
+  const int replicas = std::max(1, knob.service()->active_replicas());
+  KnobState& st = state(knob);
+
+  if (est.valid) {
+    const double with_headroom =
+        static_cast<double>(est.recommended) * options_.headroom_factor +
+        options_.headroom_add;
+    const double per_replica = with_headroom / static_cast<double>(replicas);
+    action.new_size = clamp_size(std::ceil(per_replica));
+    const bool is_shrink = action.new_size < action.old_size;
+    if (is_shrink && ++st.pending_shrinks < options_.shrink_confirmations) {
+      // Wait for the next round to confirm before shrinking a working pool.
+      action.new_size = action.old_size;
+      action.type = AdaptAction::Type::kNone;
+    } else if (action.new_size != action.old_size) {
+      st.pending_shrinks = 0;
+      st.last_applied_at = now;
+      knob.apply(action.new_size);
+      action.type = AdaptAction::Type::kApplied;
+      SORA_INFO << "adapter: " << knob.label() << " " << action.old_size
+                << " -> " << action.new_size << " (knee "
+                << est.knee_concurrency << ")";
+    } else {
+      st.pending_shrinks = 0;
+      st.last_applied_at = now;  // model confirms current size is the knee
+      action.new_size = action.old_size;
+      action.type = AdaptAction::Type::kNone;
+    }
+  } else {
+    st.pending_shrinks = 0;
+    // No usable estimate. If the current allocation is saturated the knee
+    // is invisible because the pool itself caps concurrency: explore up —
+    // unless an estimate was applied recently (saturation at the knee is
+    // expected; see exploration_cooldown). Exception: when goodput has
+    // collapsed while saturated, the system state has drifted under the
+    // applied knee — grow immediately and faster.
+    const int capacity = knob.total_capacity();
+    const bool pinned =
+        capacity > 0 &&
+        recent_concurrency >=
+            options_.saturation_fraction * static_cast<double>(capacity);
+    const bool emergency =
+        pinned && good_fraction < options_.emergency_good_fraction;
+    const bool in_cooldown =
+        !emergency && st.last_applied_at >= 0 &&
+        now - st.last_applied_at < options_.exploration_cooldown;
+    const bool saturated = pinned && !in_cooldown;
+    if (saturated) {
+      const double factor = emergency
+                                ? std::max(options_.exploration_factor,
+                                           options_.emergency_factor)
+                                : options_.exploration_factor;
+      const double grown =
+          static_cast<double>(action.old_size) * factor +
+          options_.exploration_add;
+      action.new_size = clamp_size(grown);
+      if (action.new_size != action.old_size) {
+        knob.apply(action.new_size);
+        action.type = AdaptAction::Type::kExplored;
+        SORA_INFO << "adapter: exploring " << knob.label() << " "
+                  << action.old_size << " -> " << action.new_size;
+      } else {
+        action.type = AdaptAction::Type::kNone;
+      }
+    } else {
+      action.new_size = action.old_size;
+      action.type = AdaptAction::Type::kNone;
+    }
+  }
+  history_.push_back(action);
+  return action;
+}
+
+AdaptAction ConcurrencyAdapter::rescale_proportional(const ResourceKnob& knob,
+                                                     double factor,
+                                                     SimTime now) {
+  AdaptAction action;
+  action.at = now;
+  action.old_size = knob.current_size();
+  action.new_size =
+      clamp_size(static_cast<double>(action.old_size) * factor);
+  if (action.new_size != action.old_size) {
+    knob.apply(action.new_size);
+    action.type = AdaptAction::Type::kProportional;
+    SORA_INFO << "adapter: proportional " << knob.label() << " "
+              << action.old_size << " -> " << action.new_size << " (x"
+              << factor << ")";
+  } else {
+    action.type = AdaptAction::Type::kNone;
+  }
+  history_.push_back(action);
+  return action;
+}
+
+}  // namespace sora

@@ -1,0 +1,103 @@
+// Concurrency Adapter (Section 4.1, Reallocation Module).
+//
+// Applies estimator recommendations to the live pools, with guardrails:
+// clamping, hysteresis (skip no-op changes), exploration when the model
+// cannot see a knee because the current allocation saturates (the paper:
+// "we gradually increase the allocation to find a new optimal value"), and
+// proportional rescaling right after a hardware scale event so the system
+// is not left mismatched while the model re-learns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "core/scg_model.h"
+#include "metrics/knob.h"
+
+namespace sora {
+
+struct AdapterOptions {
+  int min_size = 1;
+  int max_size = 512;
+  /// Exploration when saturated and no knee: new = cur * factor + add.
+  double exploration_factor = 1.25;
+  int exploration_add = 1;
+  /// Recent high-quantile concurrency >= this fraction of capacity counts
+  /// as saturated.
+  double saturation_fraction = 0.85;
+  /// A shrink is applied only after this many consecutive estimates agree
+  /// the pool should shrink (guards against transient false knees).
+  int shrink_confirmations = 2;
+  /// After applying an estimate, suppress saturation-driven exploration for
+  /// this long: the applied knee intentionally caps concurrency, so
+  /// saturation right after an apply is expected, not evidence the knee is
+  /// stale.
+  SimTime exploration_cooldown = sec(60);
+  /// Headroom applied on top of the knee: new = ceil(knee * factor) + add.
+  /// The knee is where goodput saturates; a little slack above it keeps
+  /// bursts from queueing behind the pool without entering the
+  /// over-allocation regime.
+  double headroom_factor = 1.2;
+  int headroom_add = 1;
+  /// Emergency exploration: when the pool is saturated AND the fraction of
+  /// within-deadline completions has collapsed below this, the system state
+  /// has shifted under the knee (e.g. request-type drift) — grow
+  /// immediately, ignoring the cooldown, at an accelerated factor.
+  double emergency_good_fraction = 0.5;
+  double emergency_factor = 3.0;
+};
+
+/// What the adapter decided for one knob on one control round.
+struct AdaptAction {
+  enum class Type {
+    kNone,         ///< no change (estimate missing and not saturated)
+    kApplied,      ///< estimate applied
+    kExplored,     ///< grew the allocation to expose the knee
+    kProportional  ///< rescaled after a hardware scale event
+  };
+  Type type = Type::kNone;
+  int old_size = 0;
+  int new_size = 0;
+  SimTime at = 0;
+};
+
+const char* to_string(AdaptAction::Type type);
+
+class ConcurrencyAdapter {
+ public:
+  explicit ConcurrencyAdapter(AdapterOptions options = {});
+
+  /// Apply an estimate to a knob. `recent_concurrency` is a high quantile
+  /// of recent aggregate concurrency (for saturation detection) and
+  /// `good_fraction` the recent fraction of within-deadline completions
+  /// (for emergency detection); `now` stamps the action. The estimate's
+  /// recommendation is the *aggregate* optimal concurrency; it is divided
+  /// across the owner's active replicas.
+  AdaptAction adapt(const ResourceKnob& knob, const ConcurrencyEstimate& est,
+                    double recent_concurrency, SimTime now,
+                    double good_fraction = 1.0);
+
+  /// Proportionally rescale a knob after hardware scaling (`factor` =
+  /// new capacity / old capacity).
+  AdaptAction rescale_proportional(const ResourceKnob& knob, double factor,
+                                   SimTime now);
+
+  const AdapterOptions& options() const { return options_; }
+  const std::vector<AdaptAction>& history() const { return history_; }
+
+ private:
+  struct KnobState {
+    int pending_shrinks = 0;
+    SimTime last_applied_at = -1;
+  };
+
+  int clamp_size(double size) const;
+  KnobState& state(const ResourceKnob& knob);
+
+  AdapterOptions options_;
+  std::vector<AdaptAction> history_;
+  std::vector<std::pair<ResourceKnob, KnobState>> states_;
+};
+
+}  // namespace sora

@@ -1,0 +1,38 @@
+#include "core/deadline.h"
+
+#include <algorithm>
+
+#include "trace/critical_path.h"
+
+namespace sora {
+
+DeadlineResult propagate_deadline(const TraceWarehouse& warehouse, SimTime from,
+                                  SimTime to, ServiceId critical, SimTime sla,
+                                  const DeadlineOptions& options) {
+  DeadlineResult result;
+  double upstream_sum = 0.0;
+  warehouse.for_each_in_window(from, to, [&](const Trace& t) {
+    if (options.request_class >= 0 && t.request_class != options.request_class) {
+      return;
+    }
+    const CriticalPath cp = extract_critical_path(t);
+    const SimTime upstream = upstream_processing_time(cp, critical);
+    if (upstream < 0) return;  // critical service not on this path
+    upstream_sum += static_cast<double>(upstream);
+    ++result.traces_used;
+  });
+
+  if (result.traces_used == 0) return result;
+
+  result.mean_upstream_pt = static_cast<SimTime>(
+      upstream_sum / static_cast<double>(result.traces_used));
+  const SimTime floor = std::max(
+      options.min_threshold,
+      static_cast<SimTime>(options.min_fraction_of_sla *
+                           static_cast<double>(sla)));
+  result.rt_threshold = std::max(floor, sla - result.mean_upstream_pt);
+  result.valid = true;
+  return result;
+}
+
+}  // namespace sora

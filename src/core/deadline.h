@@ -1,0 +1,45 @@
+// RT Threshold Propagation Phase (Section 3.2, Eq. 1-3).
+//
+// The response-time threshold (local deadline) of the critical service s_i
+// is the end-to-end SLA minus the processing time of every upstream service
+// on the critical path:
+//
+//     RTT_si <= SLA - sum_{k=0}^{i-1} PT_sk
+//
+// Upstream processing times are measured from the message timestamps in
+// recent traces; we propagate the mean over the analysis window.
+#pragma once
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+
+struct DeadlineOptions {
+  /// Never propagate a threshold below this floor (a service can't do
+  /// anything useful with a non-positive deadline).
+  SimTime min_threshold = msec(1);
+  /// Additionally floor the threshold at this fraction of the SLA. Under
+  /// upstream congestion the measured upstream PT can transiently exceed
+  /// the whole SLA; propagating a near-zero deadline would declare every
+  /// completion "bad" and blind the SCG model exactly when it must act.
+  double min_fraction_of_sla = 0.1;
+  /// Restrict to traces of this request class (-1 = all).
+  int request_class = -1;
+};
+
+struct DeadlineResult {
+  bool valid = false;
+  SimTime rt_threshold = 0;       ///< propagated local deadline for s_i
+  SimTime mean_upstream_pt = 0;   ///< mean sum of upstream PTs
+  std::size_t traces_used = 0;    ///< traces whose critical path contains s_i
+};
+
+/// Compute the propagated deadline for `critical` from traces completed in
+/// [from, to], given the end-to-end SLA.
+DeadlineResult propagate_deadline(const TraceWarehouse& warehouse, SimTime from,
+                                  SimTime to, ServiceId critical, SimTime sla,
+                                  const DeadlineOptions& options = {});
+
+}  // namespace sora

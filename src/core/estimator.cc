@@ -1,0 +1,120 @@
+#include "core/estimator.h"
+
+#include "common/stats.h"
+
+namespace sora {
+
+ConcurrencyEstimator::ConcurrencyEstimator(Simulator& sim, Tracer& tracer,
+                                           EstimatorOptions options)
+    : sim_(sim), tracer_(tracer), options_(options), model_(options.scg) {}
+
+ConcurrencyEstimator::Watched* ConcurrencyEstimator::find(
+    const ResourceKnob& knob) {
+  for (auto& w : watched_) {
+    if (w.knob == knob) return &w;
+  }
+  return nullptr;
+}
+
+const ConcurrencyEstimator::Watched* ConcurrencyEstimator::find(
+    const ResourceKnob& knob) const {
+  for (const auto& w : watched_) {
+    if (w.knob == knob) return &w;
+  }
+  return nullptr;
+}
+
+ScatterSampler& ConcurrencyEstimator::watch(const ResourceKnob& knob) {
+  if (Watched* w = find(knob)) return *w->sampler;
+  const std::size_t max_points = static_cast<std::size_t>(
+      options_.window / options_.sampling_interval) * 4 + 16;
+  Watched w;
+  w.knob = knob;
+  w.sampler = std::make_unique<ScatterSampler>(
+      sim_, tracer_, knob, options_.sampling_interval,
+      options_.default_rt_threshold, max_points);
+  w.sampler->start();
+  watched_.push_back(std::move(w));
+  return *watched_.back().sampler;
+}
+
+void ConcurrencyEstimator::set_rt_threshold(const ResourceKnob& knob,
+                                            SimTime rtt) {
+  if (Watched* w = find(knob)) w->sampler->set_rt_threshold(rtt);
+}
+
+SimTime ConcurrencyEstimator::rt_threshold(const ResourceKnob& knob) const {
+  const Watched* w = find(knob);
+  return w != nullptr ? w->sampler->rt_threshold()
+                      : options_.default_rt_threshold;
+}
+
+ConcurrencyEstimate ConcurrencyEstimator::estimate(
+    const ResourceKnob& knob) const {
+  const Watched* w = find(knob);
+  if (w == nullptr) {
+    ConcurrencyEstimate est;
+    est.failure = "knob not watched";
+    return est;
+  }
+  const auto points = w->sampler->points_since(sim_.now() - options_.window);
+  return model_.estimate(points);
+}
+
+void ConcurrencyEstimator::clear(const ResourceKnob& knob) {
+  if (Watched* w = find(knob)) w->sampler->clear();
+}
+
+double ConcurrencyEstimator::mean_concurrency(const ResourceKnob& knob) const {
+  const Watched* w = find(knob);
+  if (w == nullptr) return 0.0;
+  const auto points = w->sampler->points_since(sim_.now() - options_.window);
+  if (points.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : points) sum += p.concurrency;
+  return sum / static_cast<double>(points.size());
+}
+
+double ConcurrencyEstimator::good_fraction(const ResourceKnob& knob) const {
+  const Watched* w = find(knob);
+  if (w == nullptr) return 1.0;
+  const auto points = w->sampler->points_since(sim_.now() - options_.window);
+  double good = 0.0, all = 0.0;
+  for (const auto& p : points) {
+    good += p.goodput;
+    all += p.throughput;
+  }
+  return all > 0.0 ? good / all : 1.0;
+}
+
+double ConcurrencyEstimator::concurrency_quantile(const ResourceKnob& knob,
+                                                  double p) const {
+  const Watched* w = find(knob);
+  if (w == nullptr) return 0.0;
+  const auto points = w->sampler->points_since(sim_.now() - options_.window);
+  if (points.empty()) return 0.0;
+  std::vector<double> qs;
+  qs.reserve(points.size());
+  for (const auto& pt : points) qs.push_back(pt.concurrency);
+  return percentile(qs, p);
+}
+
+ScatterSampler* ConcurrencyEstimator::sampler(const ResourceKnob& knob) {
+  Watched* w = find(knob);
+  return w != nullptr ? w->sampler.get() : nullptr;
+}
+
+const ScatterSampler* ConcurrencyEstimator::sampler(
+    const ResourceKnob& knob) const {
+  const Watched* w = find(knob);
+  return w != nullptr ? w->sampler.get() : nullptr;
+}
+
+const std::vector<ResourceKnob> ConcurrencyEstimator::knobs() const {
+  std::vector<ResourceKnob> out;
+  out.reserve(watched_.size());
+  for (const auto& w : watched_) out.push_back(w.knob);
+  return out;
+}
+
+}  // namespace sora

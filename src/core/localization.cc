@@ -1,0 +1,117 @@
+#include "core/localization.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "sim/simulator.h"
+#include "svc/application.h"
+#include "trace/critical_path.h"
+
+namespace sora {
+
+CriticalServiceLocalizer::CriticalServiceLocalizer(
+    Application& app, const TraceWarehouse& warehouse, LocalizerOptions options)
+    : app_(app), warehouse_(warehouse), options_(options) {
+  begin_window();
+}
+
+void CriticalServiceLocalizer::begin_window() {
+  window_start_ = app_.sim().now();
+  busy_snapshot_.clear();
+  for (const auto& svc : app_.services()) {
+    busy_snapshot_[svc->id().value()] = svc->cpu_busy_integral();
+  }
+}
+
+CriticalServiceReport CriticalServiceLocalizer::analyze() {
+  CriticalServiceReport report;
+  const SimTime now = app_.sim().now();
+  const SimTime elapsed = now - window_start_;
+
+  // --- Step 1: utilization ---------------------------------------------------
+  std::map<std::uint64_t, ServiceDiagnostics> diag;
+  double top_util = -1.0;
+  for (const auto& svc : app_.services()) {
+    ServiceDiagnostics d;
+    d.service = svc->id();
+    if (elapsed > 0) {
+      const double busy0 = busy_snapshot_.count(svc->id().value())
+                               ? busy_snapshot_[svc->id().value()]
+                               : 0.0;
+      const double busy = svc->cpu_busy_integral() - busy0;
+      const double capacity =
+          svc->cpu_capacity() * static_cast<double>(elapsed);
+      d.utilization = capacity > 0.0 ? busy / capacity : 0.0;
+    }
+    if (d.utilization > top_util) {
+      top_util = d.utilization;
+      report.by_utilization = svc->id();
+    }
+    diag.emplace(svc->id().value(), d);
+  }
+
+  // --- Step 2: PCC(PT_si, RT_CP) over the window's traces ---------------------
+  std::map<std::uint64_t, std::vector<double>> pts;  // service -> PT series
+  std::map<std::uint64_t, std::vector<double>> rts;  // service -> RT_CP series
+  std::map<std::uint64_t, double> pt_sums;
+  warehouse_.for_each_in_window(window_start_, now, [&](const Trace& t) {
+    ++report.traces_analyzed;
+    const CriticalPath cp = extract_critical_path(t);
+    for (const CriticalHop& hop : cp.hops) {
+      pts[hop.service.value()].push_back(
+          static_cast<double>(hop.processing_time));
+      rts[hop.service.value()].push_back(
+          static_cast<double>(cp.total_duration));
+      pt_sums[hop.service.value()] +=
+          static_cast<double>(hop.processing_time);
+    }
+  });
+
+  double top_pcc = -2.0;
+  for (auto& [sid, series] : pts) {
+    auto it = diag.find(sid);
+    if (it == diag.end()) continue;
+    ServiceDiagnostics& d = it->second;
+    d.cp_appearances = series.size();
+    d.mean_pt_ms =
+        series.empty() ? 0.0 : to_msec(static_cast<SimTime>(
+                                   pt_sums[sid] / series.size() * 1.0));
+    if (series.size() < options_.min_cp_appearances) continue;
+    d.pcc = pearson(series, rts[sid]);
+    if (d.pcc > top_pcc) {
+      top_pcc = d.pcc;
+      report.by_correlation = ServiceId(sid);
+    }
+  }
+
+  // --- Combine ----------------------------------------------------------------
+  // Prefer the correlation winner among high-utilization candidates; fall
+  // back to the global correlation winner, then the utilization winner.
+  ServiceId best_candidate;
+  double best_candidate_pcc = -2.0;
+  for (const auto& [sid, d] : diag) {
+    if (d.utilization >= options_.utilization_threshold &&
+        d.cp_appearances >= options_.min_cp_appearances &&
+        d.pcc > best_candidate_pcc) {
+      best_candidate_pcc = d.pcc;
+      best_candidate = ServiceId(sid);
+    }
+  }
+  if (best_candidate.valid()) {
+    report.critical = best_candidate;
+  } else if (report.by_correlation.valid()) {
+    report.critical = report.by_correlation;
+  } else {
+    report.critical = report.by_utilization;
+  }
+
+  report.services.reserve(diag.size());
+  for (const auto& [sid, d] : diag) report.services.push_back(d);
+  std::sort(report.services.begin(), report.services.end(),
+            [](const ServiceDiagnostics& a, const ServiceDiagnostics& b) {
+              return a.pcc > b.pcc;
+            });
+  return report;
+}
+
+}  // namespace sora

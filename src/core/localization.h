@@ -1,0 +1,66 @@
+// Critical Service Localization Phase (Section 3.2, inspired by FIRM).
+//
+// Two-step method:
+//   1. resource utilization — services running hot are candidates;
+//   2. Pearson correlation of each service's per-request processing time
+//      PT_si against the end-to-end response time of the critical path
+//      RT_CP — the service whose processing time explains the latency
+//      variation is the critical one.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+
+class Application;
+
+struct ServiceDiagnostics {
+  ServiceId service;
+  double utilization = 0.0;    ///< mean CPU utilization over the window (0..1)
+  double pcc = 0.0;            ///< PCC(PT_si, RT_CP)
+  double mean_pt_ms = 0.0;     ///< mean processing time on critical paths
+  std::size_t cp_appearances = 0;  ///< traces whose critical path contains it
+};
+
+struct CriticalServiceReport {
+  ServiceId critical;          ///< combined verdict (invalid if none found)
+  ServiceId by_utilization;    ///< step-1 winner
+  ServiceId by_correlation;    ///< step-2 winner
+  std::vector<ServiceDiagnostics> services;  ///< per-service detail
+  std::size_t traces_analyzed = 0;
+};
+
+struct LocalizerOptions {
+  /// Step-1 candidate threshold: utilization above this marks a candidate.
+  double utilization_threshold = 0.5;
+  /// Minimum critical-path appearances for the PCC to be trusted.
+  std::size_t min_cp_appearances = 10;
+};
+
+class CriticalServiceLocalizer {
+ public:
+  CriticalServiceLocalizer(Application& app, const TraceWarehouse& warehouse,
+                           LocalizerOptions options = {});
+
+  /// Mark the start of a measurement window (snapshots CPU integrals).
+  void begin_window();
+
+  /// Analyze traces completed in [window start, now] and return the report.
+  CriticalServiceReport analyze();
+
+ private:
+  Application& app_;
+  const TraceWarehouse& warehouse_;
+  LocalizerOptions options_;
+
+  SimTime window_start_ = 0;
+  // per-service busy-integral snapshot at window start
+  std::map<std::uint64_t, double> busy_snapshot_;
+};
+
+}  // namespace sora

@@ -1,0 +1,129 @@
+#include "core/sora.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "svc/application.h"
+#include "svc/service.h"
+
+namespace sora {
+
+SoraFrameworkOptions make_conscale_options() {
+  SoraFrameworkOptions options;
+  options.model = ModelKind::kScatterConcurrencyThroughput;
+  options.deadline_propagation = false;
+  return options;
+}
+
+SoraFramework::SoraFramework(Application& app, TraceWarehouse& warehouse,
+                             SoraFrameworkOptions options)
+    : app_(app),
+      warehouse_(warehouse),
+      options_(options),
+      estimator_(app.sim(), app.tracer(),
+                 [&options] {
+                   EstimatorOptions e = options.estimator;
+                   e.scg.kind = options.model;
+                   return e;
+                 }()),
+      adapter_(options.adapter),
+      localizer_(app, warehouse, options.localizer) {}
+
+void SoraFramework::manage(const ResourceKnob& knob) {
+  for (const ResourceKnob& existing : knobs_) {
+    if (existing == knob) return;
+  }
+  knobs_.push_back(knob);
+  estimator_.watch(knob);
+}
+
+void SoraFramework::start() {
+  if (running_) return;
+  running_ = true;
+  localizer_.begin_window();
+  tick_ = app_.sim().schedule_periodic(options_.control_period,
+                                       [this] { control_round(); });
+}
+
+void SoraFramework::stop() {
+  running_ = false;
+  tick_.cancel();
+}
+
+void SoraFramework::control_round() {
+  ++control_rounds_;
+  const SimTime now = app_.sim().now();
+
+  // Critical Service Localization Phase.
+  last_report_ = localizer_.analyze();
+  localizer_.begin_window();
+
+  for (const ResourceKnob& knob : knobs_) {
+    const ServiceId knob_service = knob.completion_service();
+    if (options_.adapt_only_critical && last_report_.critical.valid() &&
+        knob_service != last_report_.critical &&
+        knob.service()->id() != last_report_.critical) {
+      continue;
+    }
+
+    // RT Threshold Propagation Phase (SCG only).
+    if (options_.deadline_propagation &&
+        options_.model == ModelKind::kScatterConcurrencyGoodput) {
+      const DeadlineResult dl = propagate_deadline(
+          warehouse_, now - options_.estimator.window, now, knob_service,
+          options_.sla, options_.deadline);
+      if (dl.valid) {
+        estimator_.set_rt_threshold(knob, dl.rt_threshold);
+      }
+    }
+
+    // Estimation Phase + Reallocation.
+    const ConcurrencyEstimate est = estimator_.estimate(knob);
+    const AdaptAction action = adapter_.adapt(
+        knob, est, estimator_.concurrency_quantile(knob, 90.0), now,
+        estimator_.good_fraction(knob));
+    if (action.type != AdaptAction::Type::kNone) {
+      // Samples gathered under the old allocation describe a different
+      // system; restart the scatter for the new one.
+      estimator_.clear(knob);
+    }
+  }
+}
+
+void SoraFramework::on_hardware_scaled(Service* service, double old_cores,
+                                       double new_cores, int old_replicas,
+                                       int new_replicas) {
+  const SimTime now = app_.sim().now();
+  for (const ResourceKnob& knob : knobs_) {
+    const bool owns = knob.service() == service;
+    const bool targets =
+        knob.is_edge() && knob.completion_service() == service->id();
+    if (!owns && !targets) continue;
+
+    double factor = 1.0;
+    if (old_cores > 0.0 && new_cores != old_cores && owns && !knob.is_edge()) {
+      // Vertical scaling of the pool's owner: thread demand scales with the
+      // usable cores.
+      factor = new_cores / old_cores;
+    } else if (old_cores > 0.0 && new_cores != old_cores && targets) {
+      // Vertical scaling of an edge knob's target: the target can absorb
+      // proportionally more concurrent calls.
+      factor = new_cores / old_cores;
+    } else if (old_replicas > 0 && new_replicas != old_replicas && targets) {
+      // Horizontal scaling of the target: the caller's connection pool
+      // should track the target's aggregate parallelism (Section 5.3).
+      factor = static_cast<double>(new_replicas) /
+               static_cast<double>(old_replicas);
+    }
+
+    if (factor != 1.0) {
+      adapter_.rescale_proportional(knob, factor, now);
+    }
+    // The learned concurrency-goodput curve described the old hardware.
+    estimator_.clear(knob);
+    SORA_INFO << "sora: hardware scaled for " << knob.label()
+              << ", curve reset (factor " << factor << ")";
+  }
+}
+
+}  // namespace sora

@@ -1,0 +1,107 @@
+// The Sora framework (Section 4).
+//
+// Composes the four SCG phases into a runtime control loop that coordinates
+// with any hardware-only autoscaler:
+//
+//   Monitoring  — distributed traces (Tracer -> TraceWarehouse) + CPU probes
+//   Estimator   — per-knob scatter sampling + SCG estimation
+//   Reallocation — Concurrency Adapter applies recommendations; hardware
+//                  scale events trigger proportional re-adaptation and
+//                  model resets
+//
+// Configured with ModelKind::kScatterConcurrencyThroughput and deadline
+// propagation disabled, the same loop implements the ConScale baseline
+// (make_conscale_options).
+#pragma once
+
+#include <vector>
+
+#include "core/adapter.h"
+#include "core/deadline.h"
+#include "core/estimator.h"
+#include "core/localization.h"
+#include "core/scg_model.h"
+#include "metrics/knob.h"
+#include "sim/simulator.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+
+struct SoraFrameworkOptions {
+  /// Control period of the adaptation loop (aligned with the hardware
+  /// autoscaler's 15 s default).
+  SimTime control_period = sec(15);
+
+  /// End-to-end SLA driving deadline propagation.
+  SimTime sla = msec(400);
+
+  /// SCG (Sora) or SCT (ConScale).
+  ModelKind model = ModelKind::kScatterConcurrencyGoodput;
+
+  /// Enable the RT Threshold Propagation Phase. Disabled for ConScale and
+  /// for the deadline-propagation ablation (a fixed default threshold is
+  /// used instead).
+  bool deadline_propagation = true;
+
+  /// Adapt only knobs associated with the currently-critical service
+  /// (false = adapt every managed knob each round).
+  bool adapt_only_critical = false;
+
+  EstimatorOptions estimator;
+  AdapterOptions adapter;
+  LocalizerOptions localizer;
+  DeadlineOptions deadline;
+};
+
+/// Options preset for the ConScale baseline: SCT model, no deadlines.
+SoraFrameworkOptions make_conscale_options();
+
+class Application;
+
+class SoraFramework {
+ public:
+  SoraFramework(Application& app, TraceWarehouse& warehouse,
+                SoraFrameworkOptions options = {});
+
+  /// Register a soft-resource knob for runtime adaptation.
+  void manage(const ResourceKnob& knob);
+
+  void start();
+  void stop();
+
+  /// Notify the framework that a hardware autoscaler changed `service`
+  /// (wired by the harness to Autoscaler::add_scale_listener). Performs the
+  /// immediate proportional re-adaptation of Section 4.1 and resets the
+  /// affected knobs' learned curves.
+  void on_hardware_scaled(Service* service, double old_cores, double new_cores,
+                          int old_replicas, int new_replicas);
+
+  // -- introspection -----------------------------------------------------------
+
+  ConcurrencyEstimator& estimator() { return estimator_; }
+  ConcurrencyAdapter& adapter() { return adapter_; }
+  const CriticalServiceReport& last_report() const { return last_report_; }
+  const std::vector<ResourceKnob>& managed() const { return knobs_; }
+  const SoraFrameworkOptions& options() const { return options_; }
+  std::uint64_t control_rounds() const { return control_rounds_; }
+
+  /// Run one control round immediately (exposed for tests).
+  void control_round();
+
+ private:
+  Application& app_;
+  TraceWarehouse& warehouse_;
+  SoraFrameworkOptions options_;
+
+  ConcurrencyEstimator estimator_;
+  ConcurrencyAdapter adapter_;
+  CriticalServiceLocalizer localizer_;
+  CriticalServiceReport last_report_;
+
+  std::vector<ResourceKnob> knobs_;
+  EventHandle tick_;
+  bool running_ = false;
+  std::uint64_t control_rounds_ = 0;
+};
+
+}  // namespace sora

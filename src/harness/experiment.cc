@@ -1,0 +1,173 @@
+#include "harness/experiment.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sora {
+
+Experiment::Experiment(ApplicationConfig app_config, ExperimentConfig config)
+    : config_(config), warehouse_(config.warehouse_capacity) {
+  warehouse_.attach(tracer_);
+  app_ = std::make_unique<Application>(sim_, tracer_, std::move(app_config),
+                                       config_.seed);
+  recorder_ = std::make_unique<LatencyRecorder>(sim_, config_.sla,
+                                                config_.timeline_bucket);
+}
+
+Experiment::~Experiment() = default;
+
+OpenLoopGenerator& Experiment::open_loop(const WorkloadTrace& trace,
+                                         RequestMix mix) {
+  auto gen = std::make_unique<OpenLoopGenerator>(
+      sim_, *app_, trace,
+      config_.seed ^ (0x9d5ab1c2e3f40517ULL + open_loops_.size()));
+  gen->set_mix(std::move(mix));
+  gen->set_observer([this](SimTime, int, SimTime rt) { recorder_->record(rt); });
+  open_loops_.push_back(std::move(gen));
+  return *open_loops_.back();
+}
+
+ClosedLoopGenerator& Experiment::closed_loop(int users, SimTime think_mean,
+                                             RequestMix mix) {
+  auto gen = std::make_unique<ClosedLoopGenerator>(
+      sim_, *app_, users, think_mean,
+      config_.seed ^ (0x5bd1e995a7c4f832ULL + closed_loops_.size()));
+  gen->set_mix(std::move(mix));
+  gen->set_observer([this](SimTime, int, SimTime rt) { recorder_->record(rt); });
+  closed_loops_.push_back(std::move(gen));
+  return *closed_loops_.back();
+}
+
+SoraFramework& Experiment::add_sora(SoraFrameworkOptions options) {
+  frameworks_.push_back(
+      std::make_unique<SoraFramework>(*app_, warehouse_, options));
+  return *frameworks_.back();
+}
+
+HorizontalPodAutoscaler& Experiment::add_hpa(HpaOptions options) {
+  auto hpa = std::make_unique<HorizontalPodAutoscaler>(sim_, *app_, options);
+  auto* ptr = hpa.get();
+  scalers_.push_back(std::move(hpa));
+  return *ptr;
+}
+
+VerticalPodAutoscaler& Experiment::add_vpa(VpaOptions options) {
+  auto vpa = std::make_unique<VerticalPodAutoscaler>(sim_, *app_, options);
+  auto* ptr = vpa.get();
+  scalers_.push_back(std::move(vpa));
+  return *ptr;
+}
+
+FirmAutoscaler& Experiment::add_firm(FirmOptions options) {
+  auto firm =
+      std::make_unique<FirmAutoscaler>(sim_, *app_, warehouse_, options);
+  auto* ptr = firm.get();
+  scalers_.push_back(std::move(firm));
+  return *ptr;
+}
+
+void Experiment::link(Autoscaler& scaler, SoraFramework& framework) {
+  scaler.add_scale_listener([&framework](const ScaleEvent& ev) {
+    framework.on_hardware_scaled(ev.service, ev.old_cores, ev.new_cores,
+                                 ev.old_replicas, ev.new_replicas);
+  });
+}
+
+void Experiment::track_service(const std::string& name,
+                               std::string edge_target) {
+  Service* svc = app_->service(name);
+  if (svc == nullptr) {
+    throw std::invalid_argument("track_service: unknown service " + name);
+  }
+  Tracked t;
+  t.name = name;
+  t.service = svc;
+  t.edge_target = std::move(edge_target);
+  t.busy_snapshot = svc->cpu_busy_integral();
+  t.entry_snapshot = svc->entry_usage_integral();
+  t.edge_snapshot =
+      t.edge_target.empty() ? 0.0 : svc->edge_usage_integral(t.edge_target);
+  t.last = sim_.now();
+  tracked_.push_back(std::move(t));
+}
+
+const std::vector<ServiceTimelinePoint>& Experiment::timeline(
+    const std::string& name) const {
+  for (const Tracked& t : tracked_) {
+    if (t.name == name) return t.points;
+  }
+  throw std::invalid_argument("timeline: service not tracked: " + name);
+}
+
+void Experiment::sample_tracked() {
+  const SimTime now = sim_.now();
+  for (Tracked& t : tracked_) {
+    const SimTime dt = now - t.last;
+    if (dt <= 0) continue;
+    Service& svc = *t.service;
+
+    ServiceTimelinePoint p;
+    p.at = now;
+    const double busy = svc.cpu_busy_integral();
+    const int replicas = std::max(1, svc.active_replicas());
+    // Pod-level view: utilization % of one core, averaged across replicas.
+    p.util_pct = (busy - t.busy_snapshot) / static_cast<double>(dt) * 100.0 /
+                 replicas;
+    p.limit_pct = svc.cpu_limit() * 100.0;
+    p.replicas = svc.active_replicas();
+    p.entry_capacity = svc.entry_capacity();
+    const double entry = svc.entry_usage_integral();
+    p.entry_in_use = (entry - t.entry_snapshot) / static_cast<double>(dt);
+    if (!t.edge_target.empty()) {
+      p.edge_capacity = svc.edge_capacity(t.edge_target);
+      const double edge = svc.edge_usage_integral(t.edge_target);
+      p.edge_in_use = (edge - t.edge_snapshot) / static_cast<double>(dt);
+      t.edge_snapshot = edge;
+    }
+    t.busy_snapshot = busy;
+    t.entry_snapshot = entry;
+    t.last = now;
+    t.points.push_back(p);
+  }
+}
+
+void Experiment::start_all() {
+  if (started_) return;
+  started_ = true;
+  for (auto& gen : open_loops_) gen->start();
+  for (auto& gen : closed_loops_) gen->start();
+  for (auto& fw : frameworks_) fw->start();
+  for (auto& sc : scalers_) sc->start();
+  if (!tracked_.empty()) {
+    track_tick_ = sim_.schedule_periodic(config_.timeline_bucket,
+                                         [this] { sample_tracked(); });
+  }
+}
+
+void Experiment::run() {
+  start_all();
+  sim_.run_until(sim_.now() + config_.duration);
+}
+
+void Experiment::run_until(SimTime t) {
+  start_all();
+  sim_.run_until(t);
+}
+
+ExperimentSummary Experiment::summary() const {
+  ExperimentSummary s;
+  s.injected = app_->injected();
+  s.completed = app_->completed();
+  s.mean_ms = recorder_->mean_ms();
+  s.p50_ms = recorder_->percentile_ms(50.0);
+  s.p95_ms = recorder_->percentile_ms(95.0);
+  s.p99_ms = recorder_->percentile_ms(99.0);
+  s.goodput_rps = recorder_->average_goodput();
+  const SimTime elapsed = sim_.now();
+  s.throughput_rps =
+      elapsed > 0 ? static_cast<double>(s.completed) / to_sec(elapsed) : 0.0;
+  s.good_fraction = recorder_->good_fraction();
+  return s;
+}
+
+}  // namespace sora

@@ -1,0 +1,139 @@
+// Experiment harness.
+//
+// Wires a full run: simulator + tracer + warehouse + application + workload
+// generators + (optionally) an autoscaler and a Sora/ConScale framework,
+// plus per-second service timelines and client-side latency recording. All
+// figure/table benches and the examples are built on this.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autoscale/firm.h"
+#include "autoscale/hpa.h"
+#include "autoscale/vpa.h"
+#include "core/sora.h"
+#include "metrics/latency_recorder.h"
+#include "sim/simulator.h"
+#include "svc/application.h"
+#include "trace/tracer.h"
+#include "trace/warehouse.h"
+#include "workload/generator.h"
+
+namespace sora {
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;
+  SimTime duration = minutes(12);
+  /// End-to-end SLA used for client-side goodput reporting.
+  SimTime sla = msec(400);
+  SimTime timeline_bucket = sec(1);
+  std::size_t warehouse_capacity = 200000;
+};
+
+/// One per-bucket sample of a tracked service's state.
+struct ServiceTimelinePoint {
+  SimTime at = 0;
+  double util_pct = 0.0;    ///< pod CPU utilization, % of one core (K8s style)
+  double limit_pct = 0.0;   ///< per-pod CPU limit, % of one core
+  int replicas = 0;
+  int entry_capacity = 0;   ///< aggregate thread-pool size
+  double entry_in_use = 0;  ///< time-averaged busy threads
+  int edge_capacity = 0;    ///< aggregate connection-pool size (if tracked)
+  double edge_in_use = 0;
+};
+
+struct ExperimentSummary {
+  std::uint64_t injected = 0;
+  std::uint64_t completed = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double goodput_rps = 0.0;    ///< within SLA
+  double throughput_rps = 0.0;
+  double good_fraction = 0.0;
+};
+
+class Experiment {
+ public:
+  Experiment(ApplicationConfig app_config, ExperimentConfig config);
+  ~Experiment();
+
+  Simulator& sim() { return sim_; }
+  Application& app() { return *app_; }
+  Tracer& tracer() { return tracer_; }
+  TraceWarehouse& warehouse() { return warehouse_; }
+  LatencyRecorder& recorder() { return *recorder_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  // -- workload ---------------------------------------------------------------
+
+  OpenLoopGenerator& open_loop(const WorkloadTrace& trace, RequestMix mix = RequestMix(0));
+  ClosedLoopGenerator& closed_loop(int users, SimTime think_mean,
+                                   RequestMix mix = RequestMix(0));
+
+  // -- control planes -----------------------------------------------------------
+
+  SoraFramework& add_sora(SoraFrameworkOptions options = {});
+  HorizontalPodAutoscaler& add_hpa(HpaOptions options = {});
+  VerticalPodAutoscaler& add_vpa(VpaOptions options = {});
+  FirmAutoscaler& add_firm(FirmOptions options = {});
+
+  /// Forward an autoscaler's scale events into a framework (Sora's
+  /// Reallocation Module coordination).
+  static void link(Autoscaler& scaler, SoraFramework& framework);
+
+  // -- timelines ----------------------------------------------------------------
+
+  /// Track a service's per-bucket state; `edge_target` additionally tracks
+  /// the connection pool toward that target.
+  void track_service(const std::string& name, std::string edge_target = "");
+  const std::vector<ServiceTimelinePoint>& timeline(
+      const std::string& name) const;
+
+  // -- run ------------------------------------------------------------------------
+
+  /// Start everything added so far and run until `config.duration`.
+  void run();
+  /// Run until an absolute sim time (for phased experiments).
+  void run_until(SimTime t);
+  /// Start generators/frameworks/scalers without advancing time.
+  void start_all();
+
+  ExperimentSummary summary() const;
+
+ private:
+  struct Tracked {
+    std::string name;
+    Service* service;
+    std::string edge_target;
+    double busy_snapshot = 0.0;
+    double entry_snapshot = 0.0;
+    double edge_snapshot = 0.0;
+    SimTime last = 0;
+    std::vector<ServiceTimelinePoint> points;
+  };
+
+  void sample_tracked();
+
+  ExperimentConfig config_;
+  Simulator sim_;
+  Tracer tracer_;
+  TraceWarehouse warehouse_;
+  std::unique_ptr<Application> app_;
+  std::unique_ptr<LatencyRecorder> recorder_;
+
+  std::vector<std::unique_ptr<OpenLoopGenerator>> open_loops_;
+  std::vector<std::unique_ptr<ClosedLoopGenerator>> closed_loops_;
+  std::vector<std::unique_ptr<SoraFramework>> frameworks_;
+  std::vector<std::unique_ptr<Autoscaler>> scalers_;
+
+  std::vector<Tracked> tracked_;
+  EventHandle track_tick_;
+  bool started_ = false;
+};
+
+}  // namespace sora

@@ -1,0 +1,70 @@
+#include "metrics/knob.h"
+
+#include <cassert>
+
+#include "svc/application.h"
+#include "svc/service.h"
+
+namespace sora {
+
+ResourceKnob ResourceKnob::entry(Service* service) {
+  assert(service != nullptr);
+  return ResourceKnob(service, "");
+}
+
+ResourceKnob ResourceKnob::edge(Service* service, std::string target) {
+  assert(service != nullptr && !target.empty());
+  assert(service->edge_index_of(target) >= 0 &&
+         "edge knob requires a configured edge pool");
+  return ResourceKnob(service, std::move(target));
+}
+
+std::string ResourceKnob::label() const {
+  if (!valid()) return "<invalid>";
+  if (is_edge()) return service_->name() + "->" + edge_target_;
+  return service_->name() + "/threads";
+}
+
+ServiceId ResourceKnob::completion_service() const {
+  if (!valid()) return ServiceId{};
+  if (is_edge()) {
+    const Service* target = service_->app().service(edge_target_);
+    return target != nullptr ? target->id() : ServiceId{};
+  }
+  return service_->id();
+}
+
+int ResourceKnob::current_size() const {
+  if (!valid()) return 0;
+  return is_edge() ? service_->edge_pool_size(edge_target_)
+                   : service_->entry_pool_size();
+}
+
+int ResourceKnob::total_capacity() const {
+  if (!valid()) return 0;
+  return is_edge() ? service_->edge_capacity(edge_target_)
+                   : service_->entry_capacity();
+}
+
+int ResourceKnob::total_in_use() const {
+  if (!valid()) return 0;
+  return is_edge() ? service_->edge_in_use(edge_target_)
+                   : service_->entry_in_use();
+}
+
+double ResourceKnob::usage_integral() const {
+  if (!valid()) return 0.0;
+  return is_edge() ? service_->edge_usage_integral(edge_target_)
+                   : service_->entry_usage_integral();
+}
+
+void ResourceKnob::apply(int per_replica) const {
+  assert(valid());
+  if (is_edge()) {
+    service_->resize_edge_pool(edge_target_, per_replica);
+  } else {
+    service_->resize_entry_pool(per_replica);
+  }
+}
+
+}  // namespace sora

@@ -1,0 +1,65 @@
+// ResourceKnob: a runtime-adjustable soft resource.
+//
+// A knob identifies one adaptable concurrency setting: either a service's
+// entry thread pool, or a connection pool on an edge (caller -> target).
+// It unifies how the Concurrency Estimator measures concurrency and how the
+// Concurrency Adapter applies new sizes, regardless of pool kind — the
+// paper's "generic soft resources" (Section 6, Applicability).
+#pragma once
+
+#include <string>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace sora {
+
+class Service;
+
+class ResourceKnob {
+ public:
+  /// Entry-pool (server threads) knob on `service`.
+  static ResourceKnob entry(Service* service);
+  /// Connection-pool knob on the edge `service` -> `target`.
+  static ResourceKnob edge(Service* service, std::string target);
+
+  ResourceKnob() = default;
+
+  bool valid() const { return service_ != nullptr; }
+  bool is_edge() const { return !edge_target_.empty(); }
+  Service* service() const { return service_; }
+  const std::string& edge_target() const { return edge_target_; }
+
+  /// Human-readable name, e.g. "cart/threads" or "home-timeline->post-storage".
+  std::string label() const;
+
+  /// The service whose span completions measure this knob's goodput: the
+  /// target service for edge knobs, the owner for entry knobs.
+  ServiceId completion_service() const;
+
+  /// Current per-replica pool size.
+  int current_size() const;
+  /// Aggregate pool capacity across active replicas.
+  int total_capacity() const;
+  /// Aggregate slots in use right now.
+  int total_in_use() const;
+  /// Cumulative concurrency integral (slot-microseconds); snapshot deltas
+  /// give exact time-averaged concurrency.
+  double usage_integral() const;
+
+  /// Apply a new per-replica size.
+  void apply(int per_replica) const;
+
+  friend bool operator==(const ResourceKnob& a, const ResourceKnob& b) {
+    return a.service_ == b.service_ && a.edge_target_ == b.edge_target_;
+  }
+
+ private:
+  ResourceKnob(Service* service, std::string edge_target)
+      : service_(service), edge_target_(std::move(edge_target)) {}
+
+  Service* service_ = nullptr;
+  std::string edge_target_;
+};
+
+}  // namespace sora

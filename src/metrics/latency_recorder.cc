@@ -1,0 +1,64 @@
+#include "metrics/latency_recorder.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace sora {
+
+LatencyRecorder::LatencyRecorder(Simulator& sim, SimTime sla, SimTime bucket)
+    : sim_(sim), sla_(sla), bucket_(bucket), start_(sim.now()) {}
+
+TimelineBucket& LatencyRecorder::bucket_for(SimTime t) {
+  const auto idx = static_cast<std::size_t>(
+      std::max<SimTime>(0, t - start_) / bucket_);
+  while (timeline_.size() <= idx) {
+    TimelineBucket b;
+    b.start = start_ + static_cast<SimTime>(timeline_.size()) * bucket_;
+    timeline_.push_back(b);
+  }
+  return timeline_[idx];
+}
+
+void LatencyRecorder::record(SimTime rt) {
+  hist_.record(rt);
+  raw_.push_back(rt);
+  TimelineBucket& b = bucket_for(sim_.now());
+  ++b.completed;
+  if (rt <= sla_) ++b.good;
+  b.sum_rt += static_cast<double>(rt);
+  b.max_rt = std::max(b.max_rt, rt);
+}
+
+double LatencyRecorder::percentile_ms(double p) const {
+  if (raw_.empty()) return 0.0;
+  std::vector<double> copy;
+  copy.reserve(raw_.size());
+  for (SimTime v : raw_) copy.push_back(static_cast<double>(v));
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p) / 1e3;
+}
+
+double LatencyRecorder::average_goodput() const {
+  const SimTime elapsed = sim_.now() - start_;
+  if (elapsed <= 0) return 0.0;
+  std::uint64_t good = 0;
+  for (const auto& b : timeline_) good += b.good;
+  return static_cast<double>(good) / to_sec(elapsed);
+}
+
+double LatencyRecorder::good_fraction() const {
+  if (raw_.empty()) return 0.0;
+  std::uint64_t good = 0;
+  for (const auto& b : timeline_) good += b.good;
+  return static_cast<double>(good) / static_cast<double>(raw_.size());
+}
+
+LinearHistogram LatencyRecorder::distribution_ms(double bucket_ms,
+                                                 std::size_t buckets) const {
+  LinearHistogram h(bucket_ms, buckets);
+  for (SimTime v : raw_) h.record(to_msec(v));
+  return h;
+}
+
+}  // namespace sora

@@ -1,0 +1,81 @@
+// End-to-end latency and goodput recording.
+//
+// The recorder is wired as the workload generator's completion observer. It
+// maintains (a) a log-bucketed histogram plus raw samples for exact tail
+// percentiles (Table 2), (b) a per-bucket timeline of mean/max response
+// time, throughput and goodput for the figure-style timeline plots
+// (Figures 10-12), and (c) a linear histogram of the full response-time
+// distribution (Figure 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace sora {
+
+/// One timeline bucket of aggregate client-side metrics.
+struct TimelineBucket {
+  SimTime start = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t good = 0;  ///< rt <= sla threshold
+  double sum_rt = 0.0;     ///< microseconds
+  SimTime max_rt = 0;
+
+  double mean_rt_ms() const {
+    return completed ? to_msec(static_cast<SimTime>(sum_rt)) /
+                           static_cast<double>(completed)
+                     : 0.0;
+  }
+  double max_rt_ms() const { return to_msec(max_rt); }
+};
+
+class LatencyRecorder {
+ public:
+  /// `sla` is the end-to-end goodput threshold (e.g. 400 ms in Figure 10);
+  /// `bucket` is the timeline resolution.
+  LatencyRecorder(Simulator& sim, SimTime sla, SimTime bucket = sec(1));
+
+  /// Record one completed request.
+  void record(SimTime rt);
+
+  // -- summary ----------------------------------------------------------------
+
+  std::uint64_t count() const { return raw_.size(); }
+  double percentile_ms(double p) const;
+  double mean_ms() const { return to_msec(static_cast<SimTime>(hist_.mean())); }
+
+  /// Goodput in requests/second over the whole recording window.
+  double average_goodput() const;
+  /// Fraction of requests within the SLA.
+  double good_fraction() const;
+
+  SimTime sla() const { return sla_; }
+  void set_sla(SimTime sla) { sla_ = sla; }
+
+  // -- timeline ---------------------------------------------------------------
+
+  const std::vector<TimelineBucket>& timeline() const { return timeline_; }
+  SimTime bucket_width() const { return bucket_; }
+
+  /// Response-time distribution on a linear ms grid (for Figure 4).
+  LinearHistogram distribution_ms(double bucket_ms, std::size_t buckets) const;
+
+  const LatencyHistogram& histogram() const { return hist_; }
+
+ private:
+  TimelineBucket& bucket_for(SimTime t);
+
+  Simulator& sim_;
+  SimTime sla_;
+  SimTime bucket_;
+  SimTime start_;
+  LatencyHistogram hist_;
+  std::vector<SimTime> raw_;
+  std::vector<TimelineBucket> timeline_;
+};
+
+}  // namespace sora

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sora {
+
+EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
+  assert(at >= now_ && "cannot schedule in the past");
+  auto state = std::make_shared<bool>(false);
+  queue_.push(Event{at, next_seq_++, std::move(cb), state});
+  return EventHandle(std::move(state));
+}
+
+EventHandle Simulator::schedule_periodic(SimTime period, Callback cb) {
+  assert(period > 0);
+  // `stop` is the user-facing cancellation flag for the whole chain; each
+  // individual firing is scheduled as a regular one-shot event (execute()
+  // marks those fired via their own per-event flag, so the chain flag stays
+  // under our control).
+  auto stop = std::make_shared<bool>(false);
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, period, cb = std::move(cb), stop, tick]() {
+    if (*stop) return;
+    cb();
+    if (!*stop) {
+      schedule_at(now_ + period, *tick);
+    }
+  };
+  schedule_at(now_ + period, *tick);
+  return EventHandle(std::move(stop));
+}
+
+void Simulator::execute(Event& ev) {
+  now_ = ev.at;
+  if (*ev.cancelled) return;
+  *ev.cancelled = true;  // mark fired so handles report !pending()
+  ++events_executed_;
+  ev.cb();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  execute(ev);
+  return true;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace sora

@@ -1,0 +1,99 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a priority queue of timestamped events. Events scheduled
+// for the same instant fire in scheduling order (FIFO), which together with
+// seeded RNGs makes every run bit-for-bit reproducible.
+//
+// The engine is single-threaded by design: microsecond-scale event handlers
+// dominate, and determinism is a hard requirement for the experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sora {
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not fired, not cancelled).
+  bool pending() const { return state_ && !*state_; }
+
+  /// Cancel the event; a no-op if already fired or cancelled.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;  // true = cancelled/fired
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `at` (must be >= now()).
+  /// Returns a handle that can cancel the event.
+  EventHandle schedule_at(SimTime at, Callback cb);
+
+  /// Schedule `cb` after a relative delay (>= 0).
+  EventHandle schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule `cb` every `period` starting at now()+period, until the
+  /// returned handle is cancelled or the simulation ends.
+  EventHandle schedule_periodic(SimTime period, Callback cb);
+
+  /// Run until the event queue is empty or `until` is reached. Events at
+  /// exactly `until` are executed. Advances now() to `until` (or the last
+  /// event time if the queue drains first and it is later).
+  void run_until(SimTime until);
+
+  /// Run until the event queue is completely empty.
+  void run_all();
+
+  /// Execute at most one event; returns false if the queue is empty.
+  bool step();
+
+  std::uint64_t events_executed() const { return events_executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+
+    bool operator>(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void execute(Event& ev);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace sora

@@ -1,0 +1,87 @@
+#include "svc/application.h"
+
+#include <cassert>
+
+#include "sim/simulator.h"
+#include "trace/tracer.h"
+
+namespace sora {
+
+Application::Application(Simulator& sim, Tracer& tracer,
+                         ApplicationConfig config, std::uint64_t seed)
+    : sim_(sim), tracer_(tracer), config_(std::move(config)), rng_(seed) {
+  assert(!config_.services.empty());
+  services_.reserve(config_.services.size());
+  for (std::size_t i = 0; i < config_.services.size(); ++i) {
+    auto svc = std::make_unique<Service>(*this, ServiceId(i),
+                                         config_.services[i], rng_.fork());
+    by_name_.emplace(svc->name(), svc.get());
+    services_.push_back(std::move(svc));
+  }
+  assert(by_name_.size() == services_.size() && "duplicate service names");
+
+  for (const auto& [cls, name] : config_.entry_service) {
+    Service* svc = service(name);
+    assert(svc != nullptr && "entry service does not exist");
+    entries_.emplace(cls, svc);
+  }
+  if (entries_.empty()) {
+    entries_.emplace(0, services_.front().get());
+  }
+
+  for (auto& svc : services_) svc->compile_and_start();
+}
+
+Application::~Application() = default;
+
+Service* Application::service(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+const Service* Application::service(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+Service* Application::service(ServiceId id) {
+  if (!id.valid() || id.value() >= services_.size()) return nullptr;
+  return services_[id.value()].get();
+}
+
+const std::string& Application::service_name(ServiceId id) const {
+  static const std::string kUnknown = "?";
+  if (!id.valid() || id.value() >= services_.size()) return kUnknown;
+  return services_[id.value()]->name();
+}
+
+Service& Application::entry_service(int request_class) {
+  auto it = entries_.find(request_class);
+  if (it != entries_.end()) return *it->second;
+  return *entries_.begin()->second;
+}
+
+void Application::inject(int request_class,
+                         std::function<void(SimTime)> on_complete) {
+  ++injected_;
+  const SimTime start = sim_.now();
+  const TraceId trace = tracer_.begin_trace(request_class, start);
+  Service& entry = entry_service(request_class);
+  const SpanId root = tracer_.start_span(trace, SpanId{}, entry.id(),
+                                         InstanceId{}, request_class, start);
+  entry.dispatch(trace, root, request_class,
+                 [this, start, cb = std::move(on_complete)] {
+                   ++completed_;
+                   cb(sim_.now() - start);
+                 });
+}
+
+void Application::deliver(std::function<void()> fn) {
+  if (config_.network_latency <= 0) {
+    fn();
+    return;
+  }
+  sim_.schedule_after(config_.network_latency, std::move(fn));
+}
+
+}  // namespace sora

@@ -1,0 +1,87 @@
+// The compiled, runnable microservice application.
+//
+// Owns every Service, routes injected end-user requests to the entry
+// (front-end) service, and finalizes traces on completion. Implements
+// LoadTarget so workload generators can drive it.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "svc/config.h"
+#include "svc/service.h"
+#include "workload/load_target.h"
+
+namespace sora {
+
+class Simulator;
+class Tracer;
+
+class Application : public LoadTarget {
+ public:
+  /// Builds all services and their initial replicas. `seed` drives every
+  /// stochastic element (demand sampling) deterministically.
+  Application(Simulator& sim, Tracer& tracer, ApplicationConfig config,
+              std::uint64_t seed);
+  ~Application() override;
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  // -- LoadTarget -------------------------------------------------------------
+
+  /// Inject one end-user request of the given class. `on_complete` receives
+  /// the end-to-end response time when the response leaves the front-end.
+  void inject(int request_class,
+              std::function<void(SimTime response_time)> on_complete) override;
+
+  // -- lookup ------------------------------------------------------------------
+
+  Service* service(const std::string& name);
+  const Service* service(const std::string& name) const;
+  Service* service(ServiceId id);
+  const std::vector<std::unique_ptr<Service>>& services() const {
+    return services_;
+  }
+  const std::string& service_name(ServiceId id) const;
+
+  Simulator& sim() { return sim_; }
+  Tracer& tracer() { return tracer_; }
+  const ApplicationConfig& config() const { return config_; }
+
+  IdGenerator<InstanceId>& instance_ids() { return instance_ids_; }
+  Rng& rng() { return rng_; }
+
+  /// Total requests injected / completed (conservation checks).
+  std::uint64_t injected() const { return injected_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t in_flight() const { return injected_ - completed_; }
+
+  /// Deliver a message across the network: runs `fn` after the configured
+  /// network latency (synchronously when latency is 0).
+  void deliver(std::function<void()> fn);
+
+ private:
+  Service& entry_service(int request_class);
+
+  Simulator& sim_;
+  Tracer& tracer_;
+  ApplicationConfig config_;
+  Rng rng_;
+  IdGenerator<InstanceId> instance_ids_;
+
+  std::vector<std::unique_ptr<Service>> services_;  // index == ServiceId value
+  std::map<std::string, Service*> by_name_;
+  std::map<int, Service*> entries_;
+
+  std::uint64_t injected_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace sora

@@ -1,0 +1,187 @@
+#include "svc/instance.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+#include "sim/simulator.h"
+#include "svc/application.h"
+#include "svc/service.h"
+#include "trace/tracer.h"
+
+namespace sora {
+
+namespace {
+// Capacity standing in for "no limit" (e.g. goroutine-per-request services).
+constexpr int kUnlimited = 1'000'000'000;
+
+int effective_pool_size(int configured) {
+  return configured <= 0 ? kUnlimited : configured;
+}
+}  // namespace
+
+/// Per-request-visit state shared by the callbacks of the state machine.
+struct ServiceInstance::Visit {
+  TraceId trace;
+  SpanId span;
+  int request_class = 0;
+  Done done;
+  const CompiledBehavior* behavior = nullptr;
+  SimTime blocked_since = 0;
+};
+
+ServiceInstance::ServiceInstance(Service& service, InstanceId id)
+    : svc_(service),
+      id_(id),
+      cpu_(service.app().sim(), service.cpu_limit(),
+           service.config().overhead_beta),
+      entry_pool_(service.app().sim(), service.config().entry_pool_kind,
+                  service.name() + "/entry",
+                  effective_pool_size(service.entry_pool_size())),
+      rng_(service.app().rng().fork()) {
+  // One connection pool per configured edge; size 0 = ungated (null).
+  const std::size_t n = service.edge_names_.size();
+  edge_pools_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int size = service.edge_pool_sizes_[i];
+    if (size <= 0) {
+      edge_pools_.push_back(nullptr);
+    } else {
+      edge_pools_.push_back(std::make_unique<SoftResourcePool>(
+          service.app().sim(), service.edge_configs_[i].kind,
+          service.name() + "->" + service.edge_names_[i], size));
+    }
+  }
+}
+
+ServiceInstance::~ServiceInstance() = default;
+
+SoftResourcePool* ServiceInstance::edge_pool(int edge_index) {
+  if (edge_index < 0 ||
+      static_cast<std::size_t>(edge_index) >= edge_pools_.size()) {
+    return nullptr;
+  }
+  return edge_pools_[static_cast<std::size_t>(edge_index)].get();
+}
+
+const SoftResourcePool* ServiceInstance::edge_pool(int edge_index) const {
+  return const_cast<ServiceInstance*>(this)->edge_pool(edge_index);
+}
+
+void ServiceInstance::serve(TraceId trace, SpanId span, int request_class,
+                            Done done) {
+  ++outstanding_;
+  Tracer& tracer = svc_.app().tracer();
+  tracer.span(trace, span).instance = id_;
+
+  auto v = std::make_shared<Visit>();
+  v->trace = trace;
+  v->span = span;
+  v->request_class = request_class;
+  v->done = std::move(done);
+  v->behavior = &svc_.behavior(request_class);
+
+  entry_pool_.acquire([this, v] { on_admitted(v); });
+}
+
+void ServiceInstance::on_admitted(const std::shared_ptr<Visit>& v) {
+  Simulator& sim = svc_.app().sim();
+  Tracer& tracer = svc_.app().tracer();
+  tracer.span(v->trace, v->span).admitted = sim.now();
+
+  const DemandSpec& spec = v->behavior->request_demand;
+  const SimTime demand = static_cast<SimTime>(
+      rng_.lognormal_mean_cv(spec.mean_us * svc_.demand_scale(), spec.cv));
+  cpu_.submit(demand, [this, v] { run_group(v, 0); });
+}
+
+void ServiceInstance::run_group(const std::shared_ptr<Visit>& v,
+                                std::size_t group_index) {
+  if (group_index >= v->behavior->groups.size()) {
+    on_groups_done(v);
+    return;
+  }
+  const CompiledGroup& group = v->behavior->groups[group_index];
+  if (group.calls.empty()) {
+    run_group(v, group_index + 1);
+    return;
+  }
+  v->blocked_since = svc_.app().sim().now();
+  auto pending = std::make_shared<int>(static_cast<int>(group.calls.size()));
+  for (std::size_t ci = 0; ci < group.calls.size(); ++ci) {
+    issue_call(v, group_index, ci, pending);
+  }
+}
+
+void ServiceInstance::issue_call(const std::shared_ptr<Visit>& v,
+                                 std::size_t group_index,
+                                 std::size_t call_index,
+                                 const std::shared_ptr<int>& pending) {
+  Application& app = svc_.app();
+  Tracer& tracer = app.tracer();
+  const CompiledGroup& group = v->behavior->groups[group_index];
+  const CompiledCall& call = group.calls[call_index];
+  Service* target = call.target;
+  assert(target != nullptr);
+
+  const SimTime issued = app.sim().now();
+  const SpanId child = tracer.start_span(v->trace, v->span, target->id(),
+                                         InstanceId{}, v->request_class,
+                                         issued);
+  Span& parent = tracer.span(v->trace, v->span);
+  parent.children.push_back(
+      ChildCall{child, static_cast<int>(group_index), issued, 0});
+  const std::size_t child_slot = parent.children.size() - 1;
+
+  SoftResourcePool* gate = edge_pool(call.edge_index);
+
+  // Dispatch once the connection gate admits us; when the response returns,
+  // release the connection, stamp the return time, and advance the group
+  // after all peer calls have finished.
+  auto launch = [this, v, child, gate, target, group_index, child_slot,
+                 pending] {
+    Application& app2 = svc_.app();
+    app2.deliver([this, v, child, gate, target, group_index, child_slot,
+                  pending] {
+      target->dispatch(
+          v->trace, child, v->request_class,
+          [this, v, gate, group_index, child_slot, pending] {
+            Application& app3 = svc_.app();
+            app3.deliver([this, v, gate, group_index, child_slot, pending] {
+              if (gate != nullptr) gate->release();
+              Tracer& t = svc_.app().tracer();
+              Span& p = t.span(v->trace, v->span);
+              p.children[child_slot].returned = svc_.app().sim().now();
+              if (--*pending == 0) {
+                p.downstream_wait += svc_.app().sim().now() - v->blocked_since;
+                run_group(v, group_index + 1);
+              }
+            });
+          });
+    });
+  };
+
+  if (gate != nullptr) {
+    gate->acquire(launch);
+  } else {
+    launch();
+  }
+}
+
+void ServiceInstance::on_groups_done(const std::shared_ptr<Visit>& v) {
+  const DemandSpec& spec = v->behavior->response_demand;
+  const SimTime demand = static_cast<SimTime>(
+      rng_.lognormal_mean_cv(spec.mean_us * svc_.demand_scale(), spec.cv));
+  cpu_.submit(demand, [this, v] { finish(v); });
+}
+
+void ServiceInstance::finish(const std::shared_ptr<Visit>& v) {
+  Application& app = svc_.app();
+  app.tracer().finish_span(v->trace, v->span, app.sim().now());
+  svc_.note_completion();
+  entry_pool_.release();
+  --outstanding_;
+  v->done();
+}
+
+}  // namespace sora

@@ -1,0 +1,82 @@
+// One replica (pod) of a microservice.
+//
+// An instance owns the physical execution resources of a replica: a CPU
+// scheduler bounded by the pod's CPU limit, an entry soft-resource pool
+// (server threads) and per-target connection pools. Requests flow through
+// the state machine:
+//
+//   arrive -> entry pool (queue) -> request CPU -> downstream call groups
+//          -> response CPU -> depart
+//
+// RPCs are synchronous: the entry slot is held across downstream calls,
+// which is how soft-resource pressure propagates along the call chain.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "svc/cpu.h"
+#include "svc/soft_resource.h"
+
+namespace sora {
+
+class Service;
+
+class ServiceInstance {
+ public:
+  using Done = std::function<void()>;
+
+  ServiceInstance(Service& service, InstanceId id);
+  ~ServiceInstance();
+
+  ServiceInstance(const ServiceInstance&) = delete;
+  ServiceInstance& operator=(const ServiceInstance&) = delete;
+
+  /// Serve a request visit whose span `span` was already opened by the
+  /// caller (arrival stamped). `done` runs after the span is finished.
+  void serve(TraceId trace, SpanId span, int request_class, Done done);
+
+  InstanceId id() const { return id_; }
+  bool active() const { return active_; }
+  void set_active(bool a) { active_ = a; }
+  int outstanding() const { return outstanding_; }
+
+  CpuScheduler& cpu() { return cpu_; }
+  const CpuScheduler& cpu() const { return cpu_; }
+  SoftResourcePool& entry_pool() { return entry_pool_; }
+  const SoftResourcePool& entry_pool() const { return entry_pool_; }
+
+  /// Connection pool toward the target with the given edge index, or
+  /// nullptr when that edge is ungated.
+  SoftResourcePool* edge_pool(int edge_index);
+  const SoftResourcePool* edge_pool(int edge_index) const;
+  std::size_t num_edge_pools() const { return edge_pools_.size(); }
+
+ private:
+  struct Visit;
+
+  void on_admitted(const std::shared_ptr<Visit>& v);
+  void run_group(const std::shared_ptr<Visit>& v, std::size_t group_index);
+  void issue_call(const std::shared_ptr<Visit>& v, std::size_t group_index,
+                  std::size_t call_index,
+                  const std::shared_ptr<int>& pending);
+  void on_groups_done(const std::shared_ptr<Visit>& v);
+  void finish(const std::shared_ptr<Visit>& v);
+
+  Service& svc_;
+  InstanceId id_;
+  bool active_ = true;
+  int outstanding_ = 0;
+
+  CpuScheduler cpu_;
+  SoftResourcePool entry_pool_;
+  // Indexed by the service's edge-pool index; entries may be null (ungated).
+  std::vector<std::unique_ptr<SoftResourcePool>> edge_pools_;
+  Rng rng_;
+};
+
+}  // namespace sora

@@ -1,0 +1,23 @@
+#include "svc/load_balancer.h"
+
+#include <cassert>
+
+namespace sora {
+
+std::size_t LoadBalancer::pick(const std::vector<int>& outstanding) {
+  assert(!outstanding.empty());
+  switch (policy_) {
+    case LoadBalancePolicy::kRoundRobin:
+      return static_cast<std::size_t>(rr_next_++ % outstanding.size());
+    case LoadBalancePolicy::kLeastOutstanding: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < outstanding.size(); ++i) {
+        if (outstanding[i] < outstanding[best]) best = i;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+}  // namespace sora

@@ -1,0 +1,34 @@
+// Replica selection policies.
+//
+// Kubernetes services route round-robin-ish; least-outstanding is the
+// smarter client-side policy. Round robin is the default because the paper's
+// HPA experiments rely on the workload imbalance it produces right after a
+// scale-out (Section 5.3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sora {
+
+enum class LoadBalancePolicy { kRoundRobin, kLeastOutstanding };
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(LoadBalancePolicy policy = LoadBalancePolicy::kRoundRobin)
+      : policy_(policy) {}
+
+  /// Pick an index given per-candidate outstanding request counts.
+  /// `outstanding.size()` is the number of active replicas (must be >= 1).
+  std::size_t pick(const std::vector<int>& outstanding);
+
+  LoadBalancePolicy policy() const { return policy_; }
+  void set_policy(LoadBalancePolicy p) { policy_ = p; }
+
+ private:
+  LoadBalancePolicy policy_;
+  std::uint64_t rr_next_ = 0;
+};
+
+}  // namespace sora

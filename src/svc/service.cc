@@ -1,0 +1,230 @@
+#include "svc/service.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/simulator.h"
+#include "svc/application.h"
+
+namespace sora {
+
+Service::Service(Application& app, ServiceId id, ServiceConfig config, Rng rng)
+    : app_(app),
+      id_(id),
+      config_(std::move(config)),
+      rng_(rng),
+      cpu_limit_(config_.cores),
+      entry_pool_size_(config_.entry_pool_size) {}
+
+Service::~Service() = default;
+
+void Service::compile_and_start() {
+  // Edge pools: stable index order (std::map iteration = name order).
+  for (const auto& [target, edge_cfg] : config_.edge_pools) {
+    edge_index_.emplace(target, static_cast<int>(edge_names_.size()));
+    edge_names_.push_back(target);
+    edge_configs_.push_back(edge_cfg);
+    edge_pool_sizes_.push_back(edge_cfg.size);
+  }
+
+  // Behaviours: dense vector indexed by class, falling back to class 0.
+  int max_class = 0;
+  for (const auto& [cls, _] : config_.classes) max_class = std::max(max_class, cls);
+  behaviors_.resize(static_cast<std::size_t>(max_class) + 1);
+  const ClassBehavior* fallback = nullptr;
+  if (auto it = config_.classes.find(0); it != config_.classes.end()) {
+    fallback = &it->second;
+  }
+  for (int cls = 0; cls <= max_class; ++cls) {
+    const ClassBehavior* src = fallback;
+    if (auto it = config_.classes.find(cls); it != config_.classes.end()) {
+      src = &it->second;
+    }
+    CompiledBehavior& out = behaviors_[static_cast<std::size_t>(cls)];
+    if (src == nullptr) continue;  // leaf default: zero demand, no calls
+    out.request_demand = src->request_demand;
+    out.response_demand = src->response_demand;
+    for (const CallGroup& group : src->call_groups) {
+      CompiledGroup cg;
+      for (const std::string& target_name : group.targets) {
+        Service* target = app_.service(target_name);
+        assert(target != nullptr && "call target does not exist");
+        cg.calls.push_back(CompiledCall{target, edge_index_of(target_name)});
+      }
+      out.groups.push_back(std::move(cg));
+    }
+  }
+
+  scale_replicas(std::max(1, config_.initial_replicas));
+}
+
+const CompiledBehavior& Service::behavior(int request_class) const {
+  if (request_class >= 0 &&
+      static_cast<std::size_t>(request_class) < behaviors_.size()) {
+    return behaviors_[static_cast<std::size_t>(request_class)];
+  }
+  return behaviors_.front();
+}
+
+ServiceInstance& Service::pick_replica() {
+  assert(active_count_ > 0 && "dispatch to service with no active replicas");
+  // Collect outstanding counts of active replicas in order.
+  std::vector<int> outstanding;
+  std::vector<std::size_t> index;
+  outstanding.reserve(instances_.size());
+  for (std::size_t i = 0; i < instances_.size(); ++i) {
+    if (instances_[i]->active()) {
+      outstanding.push_back(instances_[i]->outstanding());
+      index.push_back(i);
+    }
+  }
+  const std::size_t pick = lb_.pick(outstanding);
+  return *instances_[index[pick]];
+}
+
+void Service::dispatch(TraceId trace, SpanId span, int request_class,
+                       std::function<void()> done) {
+  pick_replica().serve(trace, span, request_class, std::move(done));
+}
+
+void Service::scale_replicas(int target) {
+  target = std::max(target, 1);
+  // Reactivate drained replicas first, then create fresh ones.
+  if (target > active_count_) {
+    for (auto& inst : instances_) {
+      if (active_count_ >= target) break;
+      if (!inst->active()) {
+        inst->set_active(true);
+        // Bring the revived replica in line with current knob settings.
+        inst->cpu().set_cores(cpu_limit_);
+        inst->entry_pool().resize(entry_pool_size_ <= 0 ? 1'000'000'000
+                                                        : entry_pool_size_);
+        for (std::size_t e = 0; e < edge_pool_sizes_.size(); ++e) {
+          if (auto* pool = inst->edge_pool(static_cast<int>(e))) {
+            pool->resize(std::max(1, edge_pool_sizes_[e]));
+          }
+        }
+        ++active_count_;
+      }
+    }
+    while (active_count_ < target) {
+      instances_.push_back(
+          std::make_unique<ServiceInstance>(*this, app_.instance_ids().next()));
+      ++active_count_;
+    }
+  } else {
+    // Deactivate from the back; in-flight requests drain naturally.
+    for (std::size_t i = instances_.size(); i-- > 0 && active_count_ > target;) {
+      if (instances_[i]->active()) {
+        instances_[i]->set_active(false);
+        --active_count_;
+      }
+    }
+  }
+}
+
+void Service::set_cpu_limit(double cores) {
+  cpu_limit_ = cores;
+  for (auto& inst : instances_) inst->cpu().set_cores(cores);
+}
+
+void Service::resize_entry_pool(int per_replica) {
+  entry_pool_size_ = per_replica;
+  const int effective = per_replica <= 0 ? 1'000'000'000 : per_replica;
+  for (auto& inst : instances_) inst->entry_pool().resize(effective);
+}
+
+void Service::resize_edge_pool(const std::string& target, int per_replica) {
+  const int idx = edge_index_of(target);
+  assert(idx >= 0 && "resizing an unconfigured edge pool");
+  edge_pool_sizes_[static_cast<std::size_t>(idx)] = per_replica;
+  for (auto& inst : instances_) {
+    if (auto* pool = inst->edge_pool(idx)) {
+      pool->resize(std::max(1, per_replica));
+    }
+  }
+}
+
+int Service::edge_pool_size(const std::string& target) const {
+  const int idx = edge_index_of(target);
+  return idx < 0 ? 0 : edge_pool_sizes_[static_cast<std::size_t>(idx)];
+}
+
+int Service::edge_index_of(const std::string& target) const {
+  auto it = edge_index_.find(target);
+  return it == edge_index_.end() ? -1 : it->second;
+}
+
+int Service::entry_in_use() const {
+  int total = 0;
+  for (const auto& inst : instances_) {
+    if (inst->active()) total += inst->entry_pool().in_use();
+  }
+  return total;
+}
+
+int Service::entry_capacity() const {
+  int total = 0;
+  for (const auto& inst : instances_) {
+    if (inst->active()) total += inst->entry_pool().capacity();
+  }
+  return total;
+}
+
+double Service::entry_usage_integral() const {
+  double total = 0.0;
+  for (const auto& inst : instances_) {
+    total += inst->entry_pool().usage_integral();
+  }
+  return total;
+}
+
+int Service::edge_in_use(const std::string& target) const {
+  const int idx = edge_index_of(target);
+  if (idx < 0) return 0;
+  int total = 0;
+  for (const auto& inst : instances_) {
+    if (!inst->active()) continue;
+    if (const auto* pool = inst->edge_pool(idx)) total += pool->in_use();
+  }
+  return total;
+}
+
+int Service::edge_capacity(const std::string& target) const {
+  const int idx = edge_index_of(target);
+  if (idx < 0) return 0;
+  int total = 0;
+  for (const auto& inst : instances_) {
+    if (!inst->active()) continue;
+    if (const auto* pool = inst->edge_pool(idx)) total += pool->capacity();
+  }
+  return total;
+}
+
+double Service::edge_usage_integral(const std::string& target) const {
+  const int idx = edge_index_of(target);
+  if (idx < 0) return 0.0;
+  double total = 0.0;
+  for (const auto& inst : instances_) {
+    if (const auto* pool = inst->edge_pool(idx)) {
+      total += pool->usage_integral();
+    }
+  }
+  return total;
+}
+
+double Service::cpu_busy_integral() const {
+  double total = 0.0;
+  for (const auto& inst : instances_) total += inst->cpu().busy_integral();
+  return total;
+}
+
+double Service::cpu_capacity() const {
+  double total = 0.0;
+  for (const auto& inst : instances_) {
+    if (inst->active()) total += inst->cpu().cores();
+  }
+  return total;
+}
+
+}  // namespace sora

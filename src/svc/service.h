@@ -1,0 +1,161 @@
+// A logical microservice: a set of replicas plus routing and runtime knobs.
+//
+// The Service is the unit the autoscalers and the Concurrency Adapter act
+// on: replicas can be added/removed (horizontal scaling), the per-replica
+// CPU limit changed (vertical scaling), and the soft-resource pools resized
+// (Sora's contribution).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "svc/config.h"
+#include "svc/instance.h"
+#include "svc/load_balancer.h"
+
+namespace sora {
+
+class Application;
+class Simulator;
+class Tracer;
+
+/// A downstream call with its target resolved and its connection-pool slot
+/// (if any) identified.
+struct CompiledCall {
+  Service* target = nullptr;
+  int edge_index = -1;  ///< index into the caller instance's edge pools, -1 = ungated
+};
+
+struct CompiledGroup {
+  std::vector<CompiledCall> calls;
+};
+
+struct CompiledBehavior {
+  DemandSpec request_demand;
+  DemandSpec response_demand;
+  std::vector<CompiledGroup> groups;
+};
+
+class Service {
+ public:
+  Service(Application& app, ServiceId id, ServiceConfig config, Rng rng);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Resolve call targets against the application's service map and spin up
+  /// the initial replicas. Called once by Application after all services
+  /// exist.
+  void compile_and_start();
+
+  // -- request path ----------------------------------------------------------
+
+  /// Route a call (span already opened by the caller) to a replica.
+  void dispatch(TraceId trace, SpanId span, int request_class,
+                std::function<void()> done);
+
+  /// Behaviour for a class (falls back to class 0).
+  const CompiledBehavior& behavior(int request_class) const;
+
+  // -- identity --------------------------------------------------------------
+
+  ServiceId id() const { return id_; }
+  const std::string& name() const { return config_.name; }
+  const ServiceConfig& config() const { return config_; }
+  Application& app() { return app_; }
+
+  // -- scaling knobs ---------------------------------------------------------
+
+  /// Horizontal scaling: activate/deactivate replicas (creating new ones as
+  /// needed). Deactivated replicas drain; they stop receiving traffic.
+  void scale_replicas(int target);
+
+  /// Vertical scaling: set the CPU limit (cores) of every replica.
+  void set_cpu_limit(double cores);
+  double cpu_limit() const { return cpu_limit_; }
+
+  /// Soft-resource knobs (per replica).
+  void resize_entry_pool(int per_replica);
+  void resize_edge_pool(const std::string& target, int per_replica);
+  int entry_pool_size() const { return entry_pool_size_; }
+  int edge_pool_size(const std::string& target) const;
+
+  /// Scale all CPU demands (models dataset growth / software updates —
+  /// "system state drifting"). Multiplier applied at sampling time.
+  void set_demand_scale(double scale) { demand_scale_ = scale; }
+  double demand_scale() const { return demand_scale_; }
+
+  // -- replica access & aggregates -------------------------------------------
+
+  int active_replicas() const { return active_count_; }
+  std::size_t total_replicas() const { return instances_.size(); }
+  ServiceInstance& instance(std::size_t i) { return *instances_[i]; }
+  const ServiceInstance& instance(std::size_t i) const { return *instances_[i]; }
+
+  /// Sum of entry-pool slots in use across active replicas (the service's
+  /// current request-processing concurrency).
+  int entry_in_use() const;
+  /// Sum of entry-pool capacities across active replicas.
+  int entry_capacity() const;
+  /// Sum of entry-pool usage integrals across ALL replicas (inactive
+  /// replicas contribute a constant, so deltas remain exact).
+  double entry_usage_integral() const;
+
+  /// Sum of in-use / capacity / usage integral of the edge pools toward
+  /// `target`.
+  int edge_in_use(const std::string& target) const;
+  int edge_capacity(const std::string& target) const;
+  double edge_usage_integral(const std::string& target) const;
+
+  /// Sum of CPU busy integrals (core-microseconds) across all replicas.
+  double cpu_busy_integral() const;
+  /// Aggregate CPU capacity in cores across active replicas.
+  double cpu_capacity() const;
+
+  std::uint64_t completions() const { return completions_; }
+
+  LoadBalancer& load_balancer() { return lb_; }
+
+  /// Index of the edge pool for `target` in each instance's pool vector;
+  /// -1 if that target has no gate configured.
+  int edge_index_of(const std::string& target) const;
+
+ private:
+  friend class ServiceInstance;
+
+  ServiceInstance& pick_replica();
+  void note_completion() { ++completions_; }
+
+  Application& app_;
+  ServiceId id_;
+  ServiceConfig config_;
+  Rng rng_;
+
+  // class -> compiled behaviour (index = class id; falls back to [0])
+  std::vector<CompiledBehavior> behaviors_;
+  // target name -> edge pool index (order of config_.edge_pools)
+  std::map<std::string, int> edge_index_;
+  std::vector<EdgePoolConfig> edge_configs_;  // by edge index
+  std::vector<std::string> edge_names_;       // by edge index
+
+  std::vector<std::unique_ptr<ServiceInstance>> instances_;
+  int active_count_ = 0;
+  LoadBalancer lb_;
+
+  double cpu_limit_;
+  int entry_pool_size_;
+  std::vector<int> edge_pool_sizes_;  // by edge index (per replica)
+  double demand_scale_ = 1.0;
+
+  std::uint64_t completions_ = 0;
+  IdGenerator<InstanceId>* instance_ids_ = nullptr;  // owned by Application
+};
+
+}  // namespace sora

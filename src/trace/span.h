@@ -1,0 +1,70 @@
+// Distributed-tracing data model.
+//
+// Every end-user request carries a trace; each service visit is one span.
+// Spans record the message timestamps the SCG model needs: arrival at the
+// service, admission (soft-resource slot granted), departure, and the wall
+// time blocked on downstream calls. From these we derive the per-service
+// processing time PT_si (Section 3.2, Eq. 1-3) and the critical path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+
+namespace sora {
+
+/// One downstream call issued by a span. `parallel_group` identifies calls
+/// issued concurrently (same group fires together); groups execute in
+/// ascending order; -1 would be meaningless here since every call belongs to
+/// a group (sequential calls are singleton groups).
+struct ChildCall {
+  SpanId child;
+  int parallel_group = 0;
+  SimTime issued = 0;    ///< When the caller initiated the call.
+  SimTime returned = 0;  ///< When the response came back.
+};
+
+/// One service visit.
+struct Span {
+  SpanId id;
+  TraceId trace;
+  SpanId parent;  ///< invalid for the root span.
+  ServiceId service;
+  InstanceId instance;
+  int request_class = 0;
+
+  SimTime arrival = 0;    ///< Request message reached the service (or its
+                          ///< connection gate).
+  SimTime admitted = 0;   ///< Soft-resource slot granted; processing begins.
+  SimTime departure = 0;  ///< Response message left the service.
+
+  /// Total wall time this span spent blocked waiting on >= 1 downstream
+  /// call (parallel waits counted once).
+  SimTime downstream_wait = 0;
+
+  std::vector<ChildCall> children;
+
+  /// Span response time as observed by the caller.
+  SimTime duration() const { return departure - arrival; }
+
+  /// Processing time PT_si: time attributable to this service itself
+  /// (queueing + CPU), excluding time blocked on downstream services.
+  SimTime processing_time() const { return duration() - downstream_wait; }
+};
+
+/// A completed request trace: the root span plus all descendants.
+/// Spans are stored in creation order; spans[0] is the root.
+struct Trace {
+  TraceId id;
+  int request_class = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<Span> spans;
+
+  SimTime response_time() const { return end - start; }
+  const Span& root() const { return spans.front(); }
+};
+
+}  // namespace sora

@@ -1,0 +1,75 @@
+#include "trace/tracer.h"
+
+#include <cassert>
+
+namespace sora {
+
+TraceId Tracer::begin_trace(int request_class, SimTime now) {
+  const TraceId id = trace_ids_.next();
+  OpenTrace open;
+  open.trace.id = id;
+  open.trace.request_class = request_class;
+  open.trace.start = now;
+  open_.emplace(id.value(), std::move(open));
+  return id;
+}
+
+SpanId Tracer::start_span(TraceId trace, SpanId parent, ServiceId service,
+                          InstanceId instance, int request_class,
+                          SimTime arrival) {
+  auto it = open_.find(trace.value());
+  assert(it != open_.end() && "start_span on unknown trace");
+  OpenTrace& open = it->second;
+
+  const SpanId id = span_ids_.next();
+  Span s;
+  s.id = id;
+  s.trace = trace;
+  s.parent = parent;
+  s.service = service;
+  s.instance = instance;
+  s.request_class = request_class;
+  s.arrival = arrival;
+  s.admitted = arrival;
+  s.departure = arrival;
+  open.index.emplace(id.value(), open.trace.spans.size());
+  open.trace.spans.push_back(std::move(s));
+  ++open.open_spans;
+  return id;
+}
+
+Span& Tracer::span(TraceId trace, SpanId id) {
+  auto it = open_.find(trace.value());
+  assert(it != open_.end() && "span() on unknown trace");
+  OpenTrace& open = it->second;
+  auto sit = open.index.find(id.value());
+  assert(sit != open.index.end() && "span() on unknown span");
+  return open.trace.spans[sit->second];
+}
+
+void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
+  auto it = open_.find(trace.value());
+  assert(it != open_.end() && "finish_span on unknown trace");
+  OpenTrace& open = it->second;
+
+  Span& s = span(trace, id);
+  s.departure = departure;
+  assert(open.open_spans > 0);
+  --open.open_spans;
+
+  for (const auto& listener : span_listeners_) listener(s);
+
+  const bool is_root = !s.parent.valid();
+  if (is_root) {
+    assert(open.open_spans == 0 && "root span closed with open children");
+    open.trace.end = departure;
+    // Move the trace out before invoking listeners so that re-entrant tracer
+    // use from a listener cannot invalidate it.
+    Trace done = std::move(open.trace);
+    open_.erase(it);
+    ++traces_completed_;
+    for (const auto& listener : trace_listeners_) listener(done);
+  }
+}
+
+}  // namespace sora

@@ -1,0 +1,71 @@
+// In-process OpenTracing-style tracer.
+//
+// The paper instruments every microservice with a Jaeger/Zipkin-compatible
+// agent and stores request/response timestamps per service. Here the tracer
+// is an in-process collector: services open and close spans; when the root
+// span closes, the assembled Trace is handed to the TraceWarehouse and to
+// any registered listeners (e.g. the Concurrency Estimator and metric
+// samplers).
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/time.h"
+#include "trace/span.h"
+
+namespace sora {
+
+class Tracer {
+ public:
+  using TraceListener = std::function<void(const Trace&)>;
+  /// Span listeners fire on every span completion (service visit), which is
+  /// what the scatter samplers consume.
+  using SpanListener = std::function<void(const Span&)>;
+
+  /// Start a new trace for a request of the given class. Returns its id.
+  TraceId begin_trace(int request_class, SimTime now);
+
+  /// Open a span under `trace`. `parent` is invalid for the root span.
+  /// `arrival` is when the request message reached the service.
+  SpanId start_span(TraceId trace, SpanId parent, ServiceId service,
+                    InstanceId instance, int request_class, SimTime arrival);
+
+  /// Mutable access to an open span (to stamp admitted/downstream_wait and
+  /// append child calls). Must not be called after the span is finished.
+  Span& span(TraceId trace, SpanId id);
+
+  /// Close a span. When the root span closes, the trace is assembled,
+  /// listeners run, and the trace's storage is released.
+  void finish_span(TraceId trace, SpanId id, SimTime departure);
+
+  void add_trace_listener(TraceListener cb) {
+    trace_listeners_.push_back(std::move(cb));
+  }
+  void add_span_listener(SpanListener cb) {
+    span_listeners_.push_back(std::move(cb));
+  }
+
+  /// Number of traces currently in flight (diagnostics / leak checks).
+  std::size_t open_traces() const { return open_.size(); }
+  std::uint64_t traces_completed() const { return traces_completed_; }
+
+ private:
+  struct OpenTrace {
+    Trace trace;
+    // span id -> index into trace.spans
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    std::size_t open_spans = 0;
+  };
+
+  IdGenerator<TraceId> trace_ids_;
+  IdGenerator<SpanId> span_ids_;
+  std::unordered_map<std::uint64_t, OpenTrace> open_;
+  std::vector<TraceListener> trace_listeners_;
+  std::vector<SpanListener> span_listeners_;
+  std::uint64_t traces_completed_ = 0;
+};
+
+}  // namespace sora

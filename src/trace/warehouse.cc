@@ -1,0 +1,76 @@
+#include "trace/warehouse.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace sora {
+
+TraceWarehouse::TraceWarehouse(std::size_t capacity) : capacity_(capacity) {}
+
+void TraceWarehouse::attach(Tracer& tracer, std::uint64_t sample_every_n) {
+  if (sample_every_n <= 1) {
+    tracer.add_trace_listener([this](const Trace& t) { store(t); });
+    return;
+  }
+  auto counter = std::make_shared<std::uint64_t>(0);
+  tracer.add_trace_listener([this, counter, sample_every_n](const Trace& t) {
+    if ((*counter)++ % sample_every_n == 0) store(t);
+  });
+}
+
+void TraceWarehouse::store(Trace trace) {
+  traces_.push_back(std::move(trace));
+  ++total_stored_;
+  while (traces_.size() > capacity_) {
+    traces_.pop_front();
+    ++total_evicted_;
+  }
+}
+
+void TraceWarehouse::for_each_in_window(
+    SimTime from, SimTime to,
+    const std::function<void(const Trace&)>& fn) const {
+  for (const Trace& t : traces_) {
+    if (t.end < from) continue;
+    if (t.end > to) break;  // traces are completion-ordered
+    fn(t);
+  }
+}
+
+std::size_t TraceWarehouse::count_in_window(SimTime from, SimTime to) const {
+  std::size_t n = 0;
+  for_each_in_window(from, to, [&n](const Trace&) { ++n; });
+  return n;
+}
+
+void CallGraphStore::attach(Tracer& tracer) {
+  tracer.add_trace_listener([this](const Trace& t) { ingest(t); });
+}
+
+void CallGraphStore::ingest(const Trace& trace) {
+  std::unordered_map<std::uint64_t, const Span*> idx;
+  idx.reserve(trace.spans.size());
+  for (const Span& s : trace.spans) idx.emplace(s.id.value(), &s);
+  for (const Span& s : trace.spans) {
+    if (!s.parent.valid()) {
+      ++roots_[s.service.value()];
+      continue;
+    }
+    auto it = idx.find(s.parent.value());
+    if (it != idx.end()) {
+      ++edges_[key(it->second->service, s.service)];
+    }
+  }
+}
+
+std::uint64_t CallGraphStore::edge_count(ServiceId from, ServiceId to) const {
+  auto it = edges_.find(key(from, to));
+  return it == edges_.end() ? 0 : it->second;
+}
+
+std::uint64_t CallGraphStore::root_count(ServiceId service) const {
+  auto it = roots_.find(service.value());
+  return it == roots_.end() ? 0 : it->second;
+}
+
+}  // namespace sora

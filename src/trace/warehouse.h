@@ -1,0 +1,76 @@
+// Trace warehouse: bounded store of recent completed traces.
+//
+// Stands in for the paper's Neo4j + per-service MongoDB trace stores: the
+// Concurrency Estimator pulls recent traces from here asynchronously for
+// critical-service localization and deadline propagation. A ring buffer
+// bounds memory; queries filter by completion-time window.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "common/time.h"
+#include "trace/span.h"
+#include "trace/tracer.h"
+
+namespace sora {
+
+class TraceWarehouse {
+ public:
+  /// `capacity` bounds the number of retained traces (oldest evicted first).
+  explicit TraceWarehouse(std::size_t capacity = 65536);
+
+  /// Wire the warehouse to a tracer. `sample_every_n` > 1 stores only every
+  /// n-th completed trace — the head-based sampling production tracing
+  /// systems use to bound collection overhead (the paper's Section 6
+  /// scalability concern). The ablation benches quantify what sampling
+  /// costs the localization/deadline phases.
+  void attach(Tracer& tracer, std::uint64_t sample_every_n = 1);
+
+  /// Store a completed trace directly (used by tests).
+  void store(Trace trace);
+
+  /// Visit traces whose end time falls in [from, to]. Traces are visited
+  /// oldest-first.
+  void for_each_in_window(SimTime from, SimTime to,
+                          const std::function<void(const Trace&)>& fn) const;
+
+  /// Count of traces ending in [from, to].
+  std::size_t count_in_window(SimTime from, SimTime to) const;
+
+  std::size_t size() const { return traces_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t total_stored() const { return total_stored_; }
+  std::uint64_t total_evicted() const { return total_evicted_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Trace> traces_;  // ordered by completion time
+  std::uint64_t total_stored_ = 0;
+  std::uint64_t total_evicted_ = 0;
+};
+
+/// Aggregate call-graph store: counts observed service->service invocation
+/// edges across traces (the role the paper assigns to its Neo4j graph
+/// database). Useful for topology discovery and diagnostics.
+class CallGraphStore {
+ public:
+  void attach(Tracer& tracer);
+  void ingest(const Trace& trace);
+
+  /// Number of observed calls from `from` to `to`.
+  std::uint64_t edge_count(ServiceId from, ServiceId to) const;
+  /// Number of root spans observed at `service`.
+  std::uint64_t root_count(ServiceId service) const;
+  std::size_t num_edges() const { return edges_.size(); }
+
+ private:
+  static std::uint64_t key(ServiceId from, ServiceId to) {
+    return (from.value() << 32) | (to.value() & 0xffffffffULL);
+  }
+  std::unordered_map<std::uint64_t, std::uint64_t> edges_;
+  std::unordered_map<std::uint64_t, std::uint64_t> roots_;
+};
+
+}  // namespace sora

@@ -1,0 +1,122 @@
+// Workload generators (stand-in for the RUBBoS client).
+//
+// OpenLoopGenerator produces a non-homogeneous Poisson arrival process whose
+// rate follows a WorkloadTrace (thinning sampler — exact). Request classes
+// are drawn from a configurable mix that can change at runtime (the paper's
+// "system state drifting" experiment flips light -> heavy mid-run).
+//
+// ClosedLoopGenerator models N concurrent users with exponential think
+// times, the RUBBoS model the paper uses for its validation sweeps
+// (goodput vs. "# Users").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/simulator.h"
+#include "workload/load_target.h"
+#include "workload/traces.h"
+
+namespace sora {
+
+/// Probability mix over request classes.
+class RequestMix {
+ public:
+  /// Single-class mix.
+  explicit RequestMix(int request_class = 0);
+  /// Weighted mix: {class, weight} pairs; weights need not sum to 1.
+  RequestMix(std::initializer_list<std::pair<int, double>> weights);
+
+  void set_weights(std::vector<std::pair<int, double>> weights);
+  int sample(Rng& rng) const;
+
+ private:
+  std::vector<std::pair<int, double>> weights_;
+  double total_ = 0.0;
+};
+
+/// Callback observing each completed request: (injection time, class, rt).
+using CompletionObserver =
+    std::function<void(SimTime injected_at, int request_class, SimTime rt)>;
+
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(Simulator& sim, LoadTarget& target, WorkloadTrace trace,
+                    std::uint64_t seed);
+
+  /// Begin injecting at sim.now(); stops after the trace duration.
+  void start();
+  /// Stop early.
+  void stop();
+
+  void set_mix(RequestMix mix) { mix_ = std::move(mix); }
+  /// Change the class mix at a future point (state-drift experiments).
+  void schedule_mix_change(SimTime at, RequestMix mix);
+
+  void set_observer(CompletionObserver obs) { observer_ = std::move(obs); }
+
+  std::uint64_t injected() const { return injected_; }
+  const WorkloadTrace& trace() const { return trace_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  LoadTarget& target_;
+  WorkloadTrace trace_;
+  Rng rng_;
+  RequestMix mix_;
+  CompletionObserver observer_;
+  SimTime start_time_ = 0;
+  bool running_ = false;
+  std::uint64_t injected_ = 0;
+  EventHandle next_;
+};
+
+class ClosedLoopGenerator {
+ public:
+  /// `think_time_mean` is the exponential think time between a user's
+  /// response and their next request.
+  ClosedLoopGenerator(Simulator& sim, LoadTarget& target, int num_users,
+                      SimTime think_time_mean, std::uint64_t seed);
+
+  void start();
+  void stop();
+
+  /// Adjust the user population at runtime. Growing spawns users
+  /// immediately; shrinking retires users as they finish their think/req.
+  void set_users(int num_users);
+  int users() const { return target_users_; }
+
+  /// Follow a workload trace: every `update_period` the user population is
+  /// set to the trace value at the current time (trace "rates" read as user
+  /// counts). This is the RUBBoS-style closed-loop mode the paper drives
+  /// its bursty-trace experiments with. Stops updating (and retires all
+  /// users) after the trace duration.
+  void follow_trace(const WorkloadTrace& trace, SimTime update_period = sec(1));
+
+  void set_mix(RequestMix mix) { mix_ = std::move(mix); }
+  void set_observer(CompletionObserver obs) { observer_ = std::move(obs); }
+
+  std::uint64_t injected() const { return injected_; }
+
+ private:
+  void spawn_user();
+  void user_loop();
+
+  Simulator& sim_;
+  LoadTarget& target_;
+  int target_users_;
+  SimTime think_mean_;
+  Rng rng_;
+  RequestMix mix_;
+  CompletionObserver observer_;
+  bool running_ = false;
+  int live_users_ = 0;
+  std::uint64_t injected_ = 0;
+  EventHandle trace_tick_;
+};
+
+}  // namespace sora

@@ -1,0 +1,21 @@
+// Interface between workload generators and the system under test.
+#pragma once
+
+#include <functional>
+
+#include "common/time.h"
+
+namespace sora {
+
+/// Anything that can accept end-user requests. Implemented by Application.
+class LoadTarget {
+ public:
+  virtual ~LoadTarget() = default;
+
+  /// Submit one request of `request_class`; `on_complete` fires with the
+  /// end-to-end response time.
+  virtual void inject(int request_class,
+                      std::function<void(SimTime response_time)> on_complete) = 0;
+};
+
+}  // namespace sora

@@ -1,0 +1,113 @@
+#include "workload/traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sora {
+
+const std::vector<TraceShape>& all_trace_shapes() {
+  static const std::vector<TraceShape> kShapes = {
+      TraceShape::kLargeVariation, TraceShape::kQuickVarying,
+      TraceShape::kSlowlyVarying,  TraceShape::kBigSpike,
+      TraceShape::kDualPhase,      TraceShape::kSteepTriPhase,
+  };
+  return kShapes;
+}
+
+const char* to_string(TraceShape shape) {
+  switch (shape) {
+    case TraceShape::kLargeVariation:
+      return "Large Variation";
+    case TraceShape::kQuickVarying:
+      return "Quick Varying";
+    case TraceShape::kSlowlyVarying:
+      return "Slowly Varying";
+    case TraceShape::kBigSpike:
+      return "Big Spike";
+    case TraceShape::kDualPhase:
+      return "Dual Phase";
+    case TraceShape::kSteepTriPhase:
+      return "Steep Tri Phase";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Smoothstep between plateaus for steep-but-continuous transitions.
+double smooth_step(double t, double edge0, double edge1) {
+  if (edge1 <= edge0) return t < edge0 ? 0.0 : 1.0;
+  const double x = clamp01((t - edge0) / (edge1 - edge0));
+  return x * x * (3.0 - 2.0 * x);
+}
+
+}  // namespace
+
+double trace_intensity(TraceShape shape, double t) {
+  t = clamp01(t);
+  switch (shape) {
+    case TraceShape::kLargeVariation: {
+      // Big-amplitude oscillation with two pronounced crests of different
+      // height plus a slow drift.
+      const double slow = 0.5 + 0.5 * std::sin(2.0 * kPi * (t * 1.5 - 0.25));
+      const double fast = 0.2 * std::sin(2.0 * kPi * t * 4.0);
+      return clamp01(0.15 + 0.75 * slow + fast);
+    }
+    case TraceShape::kQuickVarying: {
+      // Rapid oscillations: period ~1/8 of the trace.
+      const double osc = 0.5 + 0.5 * std::sin(2.0 * kPi * t * 8.0);
+      const double env = 0.75 + 0.25 * std::sin(2.0 * kPi * t);
+      return clamp01(0.2 + 0.8 * osc * env);
+    }
+    case TraceShape::kSlowlyVarying: {
+      // One slow hump.
+      return clamp01(0.2 + 0.8 * std::pow(std::sin(kPi * t), 2.0));
+    }
+    case TraceShape::kBigSpike: {
+      // Modest baseline with a single sharp spike around t = 0.55.
+      const double base = 0.25 + 0.08 * std::sin(2.0 * kPi * t * 2.0);
+      const double spike = std::exp(-std::pow((t - 0.55) / 0.035, 2.0));
+      return clamp01(base + 0.75 * spike);
+    }
+    case TraceShape::kDualPhase: {
+      // Low plateau, then a sustained high plateau in the second half.
+      const double up = smooth_step(t, 0.45, 0.52);
+      const double down = 1.0 - smooth_step(t, 0.9, 0.97);
+      return clamp01(0.3 + 0.7 * up * down +
+                     0.05 * std::sin(2.0 * kPi * t * 6.0));
+    }
+    case TraceShape::kSteepTriPhase: {
+      // Three phases with steep ramps: low -> high -> medium-high, matching
+      // the overload episodes the paper reports around 300s and 520s of a
+      // 720s run (normalized ~0.42 and ~0.72).
+      const double p1 = smooth_step(t, 0.36, 0.42) *
+                        (1.0 - smooth_step(t, 0.52, 0.58));
+      const double p2 = smooth_step(t, 0.66, 0.72) *
+                        (1.0 - smooth_step(t, 0.84, 0.9));
+      return clamp01(0.28 + 0.72 * p1 + 0.62 * p2 +
+                     0.04 * std::sin(2.0 * kPi * t * 5.0));
+    }
+  }
+  return 0.0;
+}
+
+WorkloadTrace::WorkloadTrace(TraceShape shape, SimTime duration,
+                             double base_rate_rps, double peak_rate_rps)
+    : shape_(shape),
+      duration_(duration),
+      base_(base_rate_rps),
+      peak_(peak_rate_rps) {}
+
+double WorkloadTrace::rate_at(SimTime t) const {
+  const double x = duration_ > 0
+                       ? static_cast<double>(std::clamp<SimTime>(t, 0, duration_)) /
+                             static_cast<double>(duration_)
+                       : 0.0;
+  return base_ + (peak_ - base_) * trace_intensity(shape_, x);
+}
+
+}  // namespace sora

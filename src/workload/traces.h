@@ -1,0 +1,62 @@
+// Real-world bursty workload trace shapes.
+//
+// The paper evaluates under six bursty traces from Gandhi et al.'s
+// AutoScale work (reference [17]): Large Variation, Quick Varying, Slowly
+// Varying, Big Spike, Dual Phase and Steep Tri Phase. Only the shapes are
+// named in the paper, so we synthesize each as a normalized rate curve
+// f: [0,1] -> [0,1] with the corresponding morphology; a WorkloadTrace maps
+// it onto an absolute request rate over a configured duration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sora {
+
+enum class TraceShape {
+  kLargeVariation,
+  kQuickVarying,
+  kSlowlyVarying,
+  kBigSpike,
+  kDualPhase,
+  kSteepTriPhase,
+};
+
+/// All six shapes, in the order the paper's Table 2 lists them.
+const std::vector<TraceShape>& all_trace_shapes();
+
+const char* to_string(TraceShape shape);
+
+/// Normalized intensity of `shape` at normalized time t in [0,1].
+/// Always within [0,1]; deterministic and smooth-ish (burstiness beyond the
+/// macro shape comes from Poisson arrivals).
+double trace_intensity(TraceShape shape, double t);
+
+/// A trace shape bound to absolute time and request rates.
+class WorkloadTrace {
+ public:
+  WorkloadTrace(TraceShape shape, SimTime duration, double base_rate_rps,
+                double peak_rate_rps);
+
+  /// Arrival rate (requests/second) at absolute sim time `t`; clamps t into
+  /// [0, duration].
+  double rate_at(SimTime t) const;
+
+  /// Upper bound on rate_at over the whole trace (for thinning samplers).
+  double max_rate() const { return peak_; }
+
+  TraceShape shape() const { return shape_; }
+  SimTime duration() const { return duration_; }
+  double base_rate() const { return base_; }
+  double peak_rate() const { return peak_; }
+
+ private:
+  TraceShape shape_;
+  SimTime duration_;
+  double base_;
+  double peak_;
+};
+
+}  // namespace sora

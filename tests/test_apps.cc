@@ -1,0 +1,185 @@
+// Tests for the Sock Shop and Social Network topologies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/sock_shop.h"
+#include "apps/social_network.h"
+#include "svc/application.h"
+#include "trace/critical_path.h"
+#include "trace/tracer.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Tracer tracer;
+  TraceWarehouse warehouse{100000};
+  Application app;
+  explicit Fixture(ApplicationConfig cfg, std::uint64_t seed = 1)
+      : app(sim, tracer, std::move(cfg), seed) {
+    warehouse.attach(tracer);
+  }
+};
+
+TEST(SockShop, TopologyBuilds) {
+  Fixture f(sock_shop::make_sock_shop());
+  EXPECT_GE(f.app.services().size(), 11u);
+  for (const char* name :
+       {"front-end", "cart", "cart-db", "catalogue", "catalogue-db", "user",
+        "user-db", "orders", "order-db", "payment", "shipping",
+        "queue-master", "recommender"}) {
+    EXPECT_NE(f.app.service(name), nullptr) << name;
+  }
+}
+
+TEST(SockShop, ParamsAreApplied) {
+  sock_shop::Params p;
+  p.cart_cores = 4.0;
+  p.cart_threads = 30;
+  p.catalogue_db_connections = 15;
+  Fixture f(sock_shop::make_sock_shop(p));
+  EXPECT_DOUBLE_EQ(f.app.service("cart")->cpu_limit(), 4.0);
+  EXPECT_EQ(f.app.service("cart")->entry_pool_size(), 30);
+  EXPECT_EQ(f.app.service("catalogue")->edge_pool_size("catalogue-db"), 15);
+}
+
+TEST(SockShop, BrowseRequestTouchesCartAndCatalogue) {
+  Fixture f(sock_shop::make_sock_shop());
+  f.app.inject(sock_shop::kBrowse, [](SimTime) {});
+  f.sim.run_all();
+  ASSERT_EQ(f.warehouse.size(), 1u);
+  std::set<std::string> visited;
+  f.warehouse.for_each_in_window(0, INT64_MAX, [&](const Trace& t) {
+    for (const Span& s : t.spans) visited.insert(f.app.service_name(s.service));
+  });
+  EXPECT_TRUE(visited.count("front-end"));
+  EXPECT_TRUE(visited.count("cart"));
+  EXPECT_TRUE(visited.count("cart-db"));
+  EXPECT_TRUE(visited.count("catalogue"));
+  EXPECT_TRUE(visited.count("catalogue-db"));
+  EXPECT_FALSE(visited.count("orders"));
+}
+
+TEST(SockShop, CheckoutTouchesOrderPipeline) {
+  Fixture f(sock_shop::make_sock_shop());
+  f.app.inject(sock_shop::kCheckout, [](SimTime) {});
+  f.sim.run_all();
+  std::set<std::string> visited;
+  f.warehouse.for_each_in_window(0, INT64_MAX, [&](const Trace& t) {
+    for (const Span& s : t.spans) visited.insert(f.app.service_name(s.service));
+  });
+  for (const char* name : {"orders", "payment", "shipping", "queue-master",
+                           "order-db", "user", "cart"}) {
+    EXPECT_TRUE(visited.count(name)) << name;
+  }
+}
+
+TEST(SockShop, CriticalPathRunsThroughCartOrCatalogue) {
+  Fixture f(sock_shop::make_sock_shop());
+  for (int i = 0; i < 20; ++i) {
+    f.sim.schedule_at(i * msec(20), [&f] {
+      f.app.inject(sock_shop::kBrowse, [](SimTime) {});
+    });
+  }
+  f.sim.run_all();
+  int cart_paths = 0, catalogue_paths = 0;
+  f.warehouse.for_each_in_window(0, INT64_MAX, [&](const Trace& t) {
+    const CriticalPath cp = extract_critical_path(t);
+    if (cp.contains(f.app.service("cart")->id())) ++cart_paths;
+    if (cp.contains(f.app.service("catalogue")->id())) ++catalogue_paths;
+  });
+  // Every browse critical path goes through one of the two branches
+  // (Figure 5 of the paper).
+  EXPECT_EQ(cart_paths + catalogue_paths, 20);
+}
+
+TEST(SockShop, ConservationUnderLoad) {
+  Fixture f(sock_shop::make_sock_shop(), 7);
+  int completed = 0;
+  for (int i = 0; i < 300; ++i) {
+    f.sim.schedule_at(i * msec(5), [&] {
+      f.app.inject(i % 3, [&](SimTime) { ++completed; });
+    });
+  }
+  f.sim.run_all();
+  EXPECT_EQ(completed, 300);
+  EXPECT_EQ(f.app.in_flight(), 0u);
+  EXPECT_EQ(f.tracer.open_traces(), 0u);
+}
+
+TEST(SocialNetwork, TopologyBuilds) {
+  Fixture f(social_network::make_social_network());
+  EXPECT_GE(f.app.services().size(), 20u);
+  for (const char* name :
+       {"nginx-front-end", "home-timeline", "post-storage",
+        "post-storage-mongo", "compose-post", "social-graph", "text",
+        "user-timeline", "write-home-timeline", "unique-id"}) {
+    EXPECT_NE(f.app.service(name), nullptr) << name;
+  }
+}
+
+TEST(SocialNetwork, HomeTimelineHasClientPoolKnob) {
+  social_network::Params p;
+  p.post_storage_connections = 10;
+  Fixture f(social_network::make_social_network(p));
+  EXPECT_EQ(f.app.service("home-timeline")->edge_pool_size("post-storage"), 10);
+  EXPECT_GE(f.app.service("home-timeline")->edge_index_of("post-storage"), 0);
+}
+
+TEST(SocialNetwork, ReadPathTouchesPostStorage) {
+  Fixture f(social_network::make_social_network());
+  f.app.inject(social_network::kReadTimelineLight, [](SimTime) {});
+  f.sim.run_all();
+  std::set<std::string> visited;
+  f.warehouse.for_each_in_window(0, INT64_MAX, [&](const Trace& t) {
+    for (const Span& s : t.spans) visited.insert(f.app.service_name(s.service));
+  });
+  for (const char* name : {"nginx-front-end", "home-timeline",
+                           "home-timeline-redis", "post-storage",
+                           "post-storage-mongo"}) {
+    EXPECT_TRUE(visited.count(name)) << name;
+  }
+  EXPECT_FALSE(visited.count("compose-post"));
+}
+
+TEST(SocialNetwork, ComposeFansOut) {
+  Fixture f(social_network::make_social_network());
+  f.app.inject(social_network::kComposePost, [](SimTime) {});
+  f.sim.run_all();
+  std::set<std::string> visited;
+  f.warehouse.for_each_in_window(0, INT64_MAX, [&](const Trace& t) {
+    for (const Span& s : t.spans) visited.insert(f.app.service_name(s.service));
+  });
+  for (const char* name :
+       {"compose-post", "unique-id", "media", "user", "text", "url-shorten",
+        "user-tag", "post-storage", "user-timeline", "write-home-timeline",
+        "social-graph"}) {
+    EXPECT_TRUE(visited.count(name)) << name;
+  }
+}
+
+TEST(SocialNetwork, HeavyRequestsCostMore) {
+  // Same call graph, heavier computation: heavy read must be slower.
+  Fixture f(social_network::make_social_network(), 5);
+  SimTime light_rt = 0, heavy_rt = 0;
+  f.app.inject(social_network::kReadTimelineLight,
+               [&](SimTime rt) { light_rt = rt; });
+  f.sim.run_all();
+  f.app.inject(social_network::kReadTimelineHeavy,
+               [&](SimTime rt) { heavy_rt = rt; });
+  f.sim.run_all();
+  EXPECT_GT(heavy_rt, light_rt * 2);
+}
+
+TEST(SocialNetwork, PostStorageReplicasParam) {
+  social_network::Params p;
+  p.post_storage_replicas = 3;
+  Fixture f(social_network::make_social_network(p));
+  EXPECT_EQ(f.app.service("post-storage")->active_replicas(), 3);
+}
+
+}  // namespace
+}  // namespace sora

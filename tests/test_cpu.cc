@@ -1,0 +1,196 @@
+// Tests for the processor-sharing CPU scheduler with concurrency overhead.
+#include "svc/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sora {
+namespace {
+
+TEST(CpuScheduler, SingleJobRunsAtFullSpeed) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2.0, 0.5);
+  SimTime done_at = -1;
+  cpu.submit(1000, [&] { done_at = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(done_at, 1000);
+  EXPECT_EQ(cpu.jobs_completed(), 1u);
+}
+
+TEST(CpuScheduler, ZeroDemandCompletesSynchronously) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0, 0.0);
+  bool done = false;
+  cpu.submit(0, [&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST(CpuScheduler, TwoJobsOnTwoCoresNoInterference) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2.0, 0.5);
+  std::vector<SimTime> done;
+  cpu.submit(1000, [&] { done.push_back(sim.now()); });
+  cpu.submit(2000, [&] { done.push_back(sim.now()); });
+  sim.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 1000);
+  EXPECT_EQ(done[1], 2000);
+}
+
+TEST(CpuScheduler, TwoJobsShareOneCore) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0, 0.0);  // no overhead
+  std::vector<SimTime> done;
+  cpu.submit(1000, [&] { done.push_back(sim.now()); });
+  cpu.submit(1000, [&] { done.push_back(sim.now()); });
+  sim.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  // Each runs at 0.5x: both finish at ~2000.
+  EXPECT_NEAR(static_cast<double>(done[0]), 2000.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 2000.0, 2.0);
+}
+
+TEST(CpuScheduler, OverheadSlowsExcessConcurrency) {
+  Simulator sim;
+  const double beta = 1.0;
+  CpuScheduler cpu(sim, 1.0, beta);
+  std::vector<SimTime> done;
+  cpu.submit(1000, [&] { done.push_back(sim.now()); });
+  cpu.submit(1000, [&] { done.push_back(sim.now()); });
+  sim.run_all();
+  // rate per job = 0.5 / (1 + ln(2)) -> each finishes at 2000*(1+ln2).
+  const double expected = 2000.0 * (1.0 + std::log(2.0));
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(done[1]), expected, 5.0);
+}
+
+TEST(CpuScheduler, ShorterJobFinishesFirst) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0, 0.0);
+  std::vector<int> order;
+  cpu.submit(3000, [&] { order.push_back(1); });
+  cpu.submit(1000, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(CpuScheduler, LateArrivalSharesRemaining) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0, 0.0);
+  std::vector<SimTime> done;
+  cpu.submit(2000, [&] { done.push_back(sim.now()); });
+  sim.schedule_at(1000, [&] {
+    cpu.submit(500, [&] { done.push_back(sim.now()); });
+  });
+  sim.run_all();
+  // Job A: 1000 done at t=1000, then shares: remaining 1000 at 0.5x.
+  // Job B: 500 at 0.5x -> done at t=2000. A done at t=2500.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(done[0]), 2000.0, 3.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), 2500.0, 3.0);
+}
+
+TEST(CpuScheduler, SetCoresSpeedsUpInFlight) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0, 0.0);
+  SimTime done_at = -1;
+  cpu.submit(2000, [&] { done_at = sim.now(); });
+  cpu.submit(2000, [&] {});
+  // At t=1000 each job received 500us of service (rate 0.5), leaving 1500
+  // each; doubling cores runs both at full speed: done at t=2500 instead of
+  // t=4000.
+  sim.schedule_at(1000, [&] { cpu.set_cores(2.0); });
+  sim.run_all();
+  EXPECT_NEAR(static_cast<double>(done_at), 2500.0, 3.0);
+}
+
+TEST(CpuScheduler, BusyIntegralSingleJob) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 4.0, 0.0);
+  cpu.submit(1000, [] {});
+  sim.run_all();
+  // One job on 4 cores occupies 1 core for 1000us.
+  EXPECT_NEAR(cpu.busy_integral(), 1000.0, 1.0);
+}
+
+TEST(CpuScheduler, BusyIntegralCapsAtCores) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 2.0, 0.0);
+  for (int i = 0; i < 8; ++i) cpu.submit(1000, [] {});
+  sim.run_all();
+  // 8000us of work on 2 cores: busy 2 cores x 4000us = 8000 core-us.
+  EXPECT_NEAR(cpu.busy_integral(), 8000.0, 10.0);
+}
+
+TEST(CpuScheduler, CompletionCallbackCanResubmit) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 1.0, 0.0);
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 4) cpu.submit(100, next);
+  };
+  cpu.submit(100, next);
+  sim.run_all();
+  EXPECT_EQ(chain, 4);
+  EXPECT_EQ(sim.now(), 400);
+}
+
+TEST(CpuScheduler, FractionalCores) {
+  Simulator sim;
+  CpuScheduler cpu(sim, 0.5, 0.0);
+  SimTime done_at = -1;
+  cpu.submit(1000, [&] { done_at = sim.now(); });
+  sim.run_all();
+  // Half a core: 1000us of work takes ~2000us wall (plus overhead of the
+  // beta term: n=1 > cores=0.5 -> 1+beta*ln(2) with beta 0 -> none).
+  EXPECT_NEAR(static_cast<double>(done_at), 2000.0, 3.0);
+}
+
+// Property: work conservation — total busy time equals total demand when
+// concurrency never exceeds cores; wall time of the batch is close to
+// total_demand / cores when always saturated.
+class CpuWorkConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuWorkConservation, BatchTiming) {
+  const int jobs = GetParam();
+  Simulator sim;
+  CpuScheduler cpu(sim, 2.0, 0.0);
+  SimTime last = 0;
+  for (int i = 0; i < jobs; ++i) {
+    cpu.submit(1000, [&] { last = sim.now(); });
+  }
+  sim.run_all();
+  const double total_work = 1000.0 * jobs;
+  if (jobs >= 2) {
+    EXPECT_NEAR(static_cast<double>(last), total_work / 2.0,
+                total_work * 0.01 + 5.0);
+    EXPECT_NEAR(cpu.busy_integral(), total_work, total_work * 0.01 + 5.0);
+  }
+  EXPECT_EQ(cpu.jobs_completed(), static_cast<std::uint64_t>(jobs));
+  EXPECT_EQ(cpu.active_jobs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(JobCounts, CpuWorkConservation,
+                         ::testing::Values(1, 2, 3, 5, 10, 50));
+
+// Property: the overhead model is monotone — more concurrency never speeds
+// up an individual job.
+TEST(CpuScheduler, MonotoneSlowdownWithConcurrency) {
+  SimTime prev_done = 0;
+  for (int n : {1, 2, 4, 8, 16}) {
+    Simulator sim;
+    CpuScheduler cpu(sim, 2.0, 0.5);
+    SimTime done = 0;
+    for (int i = 0; i < n; ++i) {
+      cpu.submit(1000, [&] { done = sim.now(); });
+    }
+    sim.run_all();
+    EXPECT_GE(done, prev_done);
+    prev_done = done;
+  }
+}
+
+}  // namespace
+}  // namespace sora

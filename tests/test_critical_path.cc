@@ -1,0 +1,124 @@
+// Tests for critical-path extraction and upstream processing-time sums.
+#include "trace/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sora {
+namespace {
+
+using testutil::SyntheticSpan;
+
+TEST(CriticalPath, SingleSpan) {
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 1000, 0},
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 1u);
+  EXPECT_EQ(cp.total_duration, 1000);
+  EXPECT_EQ(cp.hops[0].service, ServiceId(0));
+  EXPECT_EQ(cp.hops[0].processing_time, 1000);
+}
+
+TEST(CriticalPath, Chain) {
+  // front(0..100) -> mid(10..90) -> leaf(20..80)
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 100, 80},
+      {0, 1, 10, 90, 60},
+      {1, 2, 20, 80, 0},
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 3u);
+  EXPECT_EQ(cp.hops[0].service, ServiceId(0));
+  EXPECT_EQ(cp.hops[1].service, ServiceId(1));
+  EXPECT_EQ(cp.hops[2].service, ServiceId(2));
+  EXPECT_EQ(cp.hops[0].processing_time, 20);  // 100 - 80
+  EXPECT_EQ(cp.hops[1].processing_time, 20);  // 80 - 60
+  EXPECT_EQ(cp.hops[2].processing_time, 60);
+  EXPECT_EQ(cp.total_duration, 100);
+  EXPECT_TRUE(cp.contains(ServiceId(1)));
+  EXPECT_FALSE(cp.contains(ServiceId(9)));
+}
+
+TEST(CriticalPath, ParallelFanoutPicksSlowerChild) {
+  // root fans out to services 1 (10..40) and 2 (10..90): 2 dominates.
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 100, 80},
+      {0, 1, 10, 40, 0, 0},
+      {0, 2, 10, 90, 0, 0},
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 2u);
+  EXPECT_EQ(cp.hops[1].service, ServiceId(2));
+}
+
+TEST(CriticalPath, SequentialCallsPickLongest) {
+  // Two sequential children: the chain descends into the longer one
+  // ("path of maximal duration").
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 200, 150},
+      {0, 1, 10, 60, 0, 0},    // 50us
+      {0, 2, 70, 170, 0, 1},   // 100us
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 2u);
+  EXPECT_EQ(cp.hops[1].service, ServiceId(2));
+}
+
+TEST(CriticalPath, DeepTree) {
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 1000, 900},
+      {0, 1, 50, 900, 700},   // on path
+      {0, 2, 50, 300, 0},     // parallel loser
+      {1, 3, 100, 750, 0},    // deepest hop
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 3u);
+  EXPECT_EQ(cp.hops[2].service, ServiceId(3));
+  EXPECT_EQ(cp.hops[2].processing_time, 650);
+}
+
+TEST(CriticalPath, EmptyTrace) {
+  Trace t;
+  const CriticalPath cp = extract_critical_path(t);
+  EXPECT_TRUE(cp.hops.empty());
+  EXPECT_EQ(cp.total_duration, 0);
+}
+
+TEST(UpstreamProcessingTime, SumsHopsAboveService) {
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 100, 80},   // PT 20
+      {0, 1, 10, 90, 60},    // PT 20
+      {1, 2, 20, 80, 0},     // PT 60
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  EXPECT_EQ(upstream_processing_time(cp, ServiceId(0)), 0);
+  EXPECT_EQ(upstream_processing_time(cp, ServiceId(1)), 20);
+  EXPECT_EQ(upstream_processing_time(cp, ServiceId(2)), 40);
+  EXPECT_EQ(upstream_processing_time(cp, ServiceId(9)), -1);
+}
+
+// Property: PT of all hops never exceeds the total duration, and the hop
+// list follows parent-child order.
+TEST(CriticalPath, ProcessingTimeBoundedByDuration) {
+  // Consistent chain: every span's downstream_wait equals its child's
+  // duration (as the instrumentation records for serial calls).
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 500, 430},
+      {0, 1, 20, 450, 350},
+      {1, 2, 50, 400, 270},
+      {2, 3, 80, 350, 0},
+  });
+  const CriticalPath cp = extract_critical_path(t);
+  SimTime pt_sum = 0;
+  for (const auto& hop : cp.hops) {
+    EXPECT_GE(hop.processing_time, 0);
+    EXPECT_LE(hop.processing_time, hop.span_duration);
+    pt_sum += hop.processing_time;
+  }
+  EXPECT_LE(pt_sum, cp.total_duration);
+}
+
+}  // namespace
+}  // namespace sora

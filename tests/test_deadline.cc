@@ -1,0 +1,142 @@
+// Tests for RT threshold propagation (Eq. 1-3 of the paper).
+#include "core/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sora {
+namespace {
+
+using testutil::SyntheticSpan;
+
+// Chain 0 -> 1 -> 2 with PTs 20/20/60 (see test_critical_path).
+Trace chain_trace(std::uint64_t id, SimTime shift = 0) {
+  return testutil::make_trace(
+      {
+          {-1, 0, shift + 0, shift + 100, 80},
+          {0, 1, shift + 10, shift + 90, 60},
+          {1, 2, shift + 20, shift + 80, 0},
+      },
+      id);
+}
+
+// The synthetic traces use microsecond-scale timings; disable the
+// millisecond floor so the arithmetic is visible.
+DeadlineOptions usec_opts() {
+  DeadlineOptions o;
+  o.min_threshold = 1;
+  return o;
+}
+
+TEST(Deadline, PropagatesSlaMinusUpstreamPt) {
+  TraceWarehouse wh(100);
+  wh.store(chain_trace(1));
+  // Critical = service 2: upstream PT = 20 + 20 = 40.
+  const DeadlineResult r =
+      propagate_deadline(wh, 0, 1000, ServiceId(2), usec(500), usec_opts());
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.mean_upstream_pt, 40);
+  EXPECT_EQ(r.rt_threshold, 460);
+  EXPECT_EQ(r.traces_used, 1u);
+}
+
+TEST(Deadline, RootServiceGetsFullSla) {
+  TraceWarehouse wh(100);
+  wh.store(chain_trace(1));
+  const DeadlineResult r =
+      propagate_deadline(wh, 0, 1000, ServiceId(0), usec(500), usec_opts());
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.mean_upstream_pt, 0);
+  EXPECT_EQ(r.rt_threshold, 500);
+}
+
+TEST(Deadline, AveragesAcrossTraces) {
+  TraceWarehouse wh(100);
+  wh.store(chain_trace(1));
+  // Second trace with doubled PTs: upstream for svc2 = 80.
+  wh.store(testutil::make_trace(
+      {
+          {-1, 0, 200, 400, 160},
+          {0, 1, 220, 380, 120},
+          {1, 2, 240, 360, 0},
+      },
+      2));
+  const DeadlineResult r =
+      propagate_deadline(wh, 0, 1000, ServiceId(2), usec(500), usec_opts());
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.traces_used, 2u);
+  EXPECT_EQ(r.mean_upstream_pt, 60);  // (40 + 80) / 2
+  EXPECT_EQ(r.rt_threshold, 440);
+}
+
+TEST(Deadline, FloorsAtMinThreshold) {
+  TraceWarehouse wh(100);
+  wh.store(chain_trace(1));
+  DeadlineOptions opts;
+  opts.min_threshold = usec(100);
+  // SLA 30 < upstream 40 -> would be negative; floored.
+  const DeadlineResult r =
+      propagate_deadline(wh, 0, 1000, ServiceId(2), usec(30), opts);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.rt_threshold, usec(100));
+}
+
+TEST(Deadline, InvalidWhenServiceNotOnPath) {
+  TraceWarehouse wh(100);
+  wh.store(chain_trace(1));
+  const DeadlineResult r =
+      propagate_deadline(wh, 0, 1000, ServiceId(9), usec(500));
+  EXPECT_FALSE(r.valid);
+  EXPECT_EQ(r.traces_used, 0u);
+}
+
+TEST(Deadline, WindowFiltersTraces) {
+  TraceWarehouse wh(100);
+  wh.store(chain_trace(1, 0));      // ends at 100
+  wh.store(chain_trace(2, 10000));  // ends at 10100
+  const DeadlineResult r =
+      propagate_deadline(wh, 5000, 20000, ServiceId(2), usec(500));
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.traces_used, 1u);
+}
+
+TEST(Deadline, RequestClassFilter) {
+  TraceWarehouse wh(100);
+  Trace t = chain_trace(1);
+  t.request_class = 2;
+  wh.store(std::move(t));
+  DeadlineOptions only_class_1;
+  only_class_1.request_class = 1;
+  EXPECT_FALSE(
+      propagate_deadline(wh, 0, 1000, ServiceId(2), usec(500), only_class_1)
+          .valid);
+  DeadlineOptions only_class_2;
+  only_class_2.request_class = 2;
+  EXPECT_TRUE(
+      propagate_deadline(wh, 0, 1000, ServiceId(2), usec(500), only_class_2)
+          .valid);
+}
+
+// Property (Eq. 3): the propagated threshold never exceeds the SLA and
+// decreases monotonically with upstream processing time.
+TEST(Deadline, ThresholdMonotoneInUpstreamPt) {
+  SimTime prev = kSimTimeNever;
+  for (SimTime upstream_scale : {1, 2, 3, 4}) {
+    TraceWarehouse wh(10);
+    const SimTime pt = 20 * upstream_scale;
+    wh.store(testutil::make_trace({
+        {-1, 0, 0, 1000, 1000 - pt},        // root PT = pt
+        {0, 1, pt / 2, 1000 - pt / 2, 0},   // leaf
+    }));
+    const DeadlineResult r =
+        propagate_deadline(wh, 0, 2000, ServiceId(1), usec(500), usec_opts());
+    ASSERT_TRUE(r.valid);
+    EXPECT_LE(r.rt_threshold, usec(500));
+    EXPECT_LT(r.rt_threshold, prev);
+    prev = r.rt_threshold;
+  }
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,111 @@
+// Tests for the Concurrency Estimator (sampler management + windows).
+#include "core/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "svc/application.h"
+#include "test_util.h"
+#include "trace/tracer.h"
+
+namespace sora {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Tracer tracer;
+  Application app;
+  explicit Fixture(ApplicationConfig cfg)
+      : app(sim, tracer, std::move(cfg), 1) {}
+  void drive(int per_second, SimTime duration) {
+    const SimTime gap = sec(1) / per_second;
+    for (SimTime t = 0; t < duration; t += gap) {
+      sim.schedule_at(sim.now() + t, [this] { app.inject(0, [](SimTime) {}); });
+    }
+  }
+};
+
+TEST(Estimator, WatchIsIdempotent) {
+  Fixture f(testutil::single_service());
+  ConcurrencyEstimator est(f.sim, f.tracer);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  ScatterSampler& a = est.watch(knob);
+  ScatterSampler& b = est.watch(knob);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(est.knobs().size(), 1u);
+}
+
+TEST(Estimator, ThresholdRoundTrip) {
+  Fixture f(testutil::single_service());
+  ConcurrencyEstimator est(f.sim, f.tracer);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  est.watch(knob);
+  est.set_rt_threshold(knob, msec(42));
+  EXPECT_EQ(est.rt_threshold(knob), msec(42));
+}
+
+TEST(Estimator, UnwatchedKnobFails) {
+  Fixture f(testutil::single_service());
+  ConcurrencyEstimator est(f.sim, f.tracer);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  const auto e = est.estimate(knob);
+  EXPECT_FALSE(e.valid);
+  EXPECT_EQ(e.failure, "knob not watched");
+  EXPECT_EQ(est.sampler(knob), nullptr);
+  EXPECT_DOUBLE_EQ(est.mean_concurrency(knob), 0.0);
+}
+
+TEST(Estimator, CollectsSamplesWhileRunning) {
+  Fixture f(testutil::single_service(4.0, 16, 2000, 0, 0.3));
+  EstimatorOptions opts;
+  opts.sampling_interval = msec(100);
+  ConcurrencyEstimator est(f.sim, f.tracer, opts);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  est.watch(knob);
+  f.drive(200, sec(5));
+  f.sim.run_until(sec(5));
+  ASSERT_NE(est.sampler(knob), nullptr);
+  EXPECT_GE(est.sampler(knob)->size(), 45u);
+  EXPECT_GT(est.mean_concurrency(knob), 0.0);
+}
+
+TEST(Estimator, QuantileAboveMean) {
+  Fixture f(testutil::single_service(4.0, 16, 2000, 0, 0.6));
+  ConcurrencyEstimator est(f.sim, f.tracer);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  est.watch(knob);
+  f.drive(300, sec(5));
+  f.sim.run_until(sec(5));
+  EXPECT_GE(est.concurrency_quantile(knob, 90.0),
+            est.concurrency_quantile(knob, 50.0));
+  EXPECT_GE(est.concurrency_quantile(knob, 50.0), 0.0);
+}
+
+TEST(Estimator, ClearDropsSamples) {
+  Fixture f(testutil::single_service());
+  ConcurrencyEstimator est(f.sim, f.tracer);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  est.watch(knob);
+  f.drive(100, sec(2));
+  f.sim.run_until(sec(2));
+  EXPECT_GT(est.sampler(knob)->size(), 0u);
+  est.clear(knob);
+  EXPECT_EQ(est.sampler(knob)->size(), 0u);
+}
+
+TEST(Estimator, WindowLimitsEstimateInput) {
+  // Samples older than the window must not influence the estimate count.
+  Fixture f(testutil::single_service(4.0, 16, 2000, 0, 0.3));
+  EstimatorOptions opts;
+  opts.window = sec(2);
+  ConcurrencyEstimator est(f.sim, f.tracer, opts);
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  est.watch(knob);
+  f.drive(200, sec(2));
+  f.sim.run_until(sec(10));  // idle for 8 s: window now empty
+  const auto e = est.estimate(knob);
+  EXPECT_FALSE(e.valid);
+  EXPECT_EQ(e.failure, "insufficient samples");
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,102 @@
+// Whole-system integration tests: Sora + autoscaler vs. static baselines on
+// the paper's benchmark applications (scaled-down versions of the Section 5
+// experiments, kept small enough for the unit-test budget).
+#include <gtest/gtest.h>
+
+#include "apps/sock_shop.h"
+#include "apps/social_network.h"
+#include "harness/experiment.h"
+
+namespace sora {
+namespace {
+
+/// Run Sock Shop browse traffic for `duration`, with or without Sora
+/// managing the Cart thread pool, and return the summary.
+ExperimentSummary run_sock_shop(bool with_sora, int users, SimTime duration,
+                                int cart_threads, std::uint64_t seed) {
+  sock_shop::Params params;
+  params.cart_cores = 2.0;
+  params.cart_threads = cart_threads;
+  ExperimentConfig cfg;
+  cfg.duration = duration;
+  cfg.sla = msec(250);
+  cfg.seed = seed;
+  Experiment exp(sock_shop::make_sock_shop(params), cfg);
+  exp.closed_loop(users, sec(1), RequestMix(sock_shop::kBrowse));
+  if (with_sora) {
+    SoraFrameworkOptions opts;
+    opts.sla = cfg.sla;
+    auto& sora = exp.add_sora(opts);
+    sora.manage(ResourceKnob::entry(exp.app().service("cart")));
+  }
+  exp.run();
+  return exp.summary();
+}
+
+TEST(Integration, SoraImprovesBadlyUnderProvisionedCart) {
+  // 1 thread on a 2-core Cart is a pathological under-allocation: Sora must
+  // lift goodput substantially.
+  const auto baseline = run_sock_shop(false, 350, minutes(3), 1, 11);
+  const auto with = run_sock_shop(true, 350, minutes(3), 1, 11);
+  EXPECT_GT(with.goodput_rps, baseline.goodput_rps * 1.2);
+  EXPECT_LT(with.p99_ms, baseline.p99_ms);
+}
+
+TEST(Integration, SoraConvergesNearGoodStaticAllocation) {
+  // Against a reasonable static setting, adaptive management must be in the
+  // same ballpark (no catastrophic regression).
+  const auto good_static = run_sock_shop(false, 350, minutes(3), 8, 12);
+  const auto adaptive = run_sock_shop(true, 350, minutes(3), 1, 12);
+  EXPECT_GT(adaptive.goodput_rps, good_static.goodput_rps * 0.7);
+}
+
+TEST(Integration, FullRunIsDeterministic) {
+  const auto a = run_sock_shop(true, 200, minutes(1), 3, 5);
+  const auto b = run_sock_shop(true, 200, minutes(1), 3, 5);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_DOUBLE_EQ(a.goodput_rps, b.goodput_rps);
+}
+
+TEST(Integration, TracingConservationOnSocialNetwork) {
+  ExperimentConfig cfg;
+  cfg.duration = minutes(1);
+  cfg.sla = msec(200);
+  Experiment exp(social_network::make_social_network(), cfg);
+  auto& users =
+      exp.closed_loop(100, msec(500),
+                      RequestMix{{social_network::kReadTimelineLight, 9.0},
+                                 {social_network::kComposePost, 1.0}});
+  exp.run();
+  // Stop the user population, drain in-flight work, check conservation.
+  users.stop();
+  exp.sim().run_all();
+  EXPECT_EQ(exp.app().injected(), exp.app().completed());
+  EXPECT_EQ(exp.tracer().open_traces(), 0u);
+  EXPECT_GT(exp.summary().injected, 1000u);
+}
+
+TEST(Integration, StateDriftShiftsCriticalDemand) {
+  // Flip light -> heavy mid-run: post-storage utilization must jump.
+  ExperimentConfig cfg;
+  cfg.duration = minutes(2);
+  cfg.sla = msec(200);
+  Experiment exp(social_network::make_social_network(), cfg);
+  auto& users = exp.closed_loop(
+      80, msec(500), RequestMix(social_network::kReadTimelineLight));
+  exp.sim().schedule_at(minutes(1), [&users] {
+    users.set_mix(RequestMix(social_network::kReadTimelineHeavy));
+  });
+  exp.track_service("post-storage");
+  exp.run();
+  const auto& tl = exp.timeline("post-storage");
+  ASSERT_GE(tl.size(), 110u);
+  double util_first = 0, util_second = 0;
+  for (std::size_t i = 10; i < 55; ++i) util_first += tl[i].util_pct;
+  for (std::size_t i = 70; i < 115; ++i) util_second += tl[i].util_pct;
+  EXPECT_GT(util_second, util_first * 1.5);
+}
+
+}  // namespace
+}  // namespace sora

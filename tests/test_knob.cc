@@ -1,0 +1,82 @@
+// Tests for ResourceKnob (entry and edge soft-resource handles).
+#include "metrics/knob.h"
+
+#include <gtest/gtest.h>
+
+#include "svc/application.h"
+#include "test_util.h"
+#include "trace/tracer.h"
+
+namespace sora {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Tracer tracer;
+  Application app;
+  explicit Fixture(ApplicationConfig cfg)
+      : app(sim, tracer, std::move(cfg), 1) {}
+};
+
+TEST(ResourceKnob, InvalidByDefault) {
+  ResourceKnob knob;
+  EXPECT_FALSE(knob.valid());
+  EXPECT_EQ(knob.label(), "<invalid>");
+}
+
+TEST(ResourceKnob, EntryKnobBasics) {
+  Fixture f(testutil::single_service(2.0, 8));
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  EXPECT_TRUE(knob.valid());
+  EXPECT_FALSE(knob.is_edge());
+  EXPECT_EQ(knob.label(), "svc/threads");
+  EXPECT_EQ(knob.current_size(), 8);
+  EXPECT_EQ(knob.total_capacity(), 8);
+  EXPECT_EQ(knob.completion_service(), f.app.service("svc")->id());
+  knob.apply(12);
+  EXPECT_EQ(knob.current_size(), 12);
+  EXPECT_EQ(f.app.service("svc")->entry_pool_size(), 12);
+}
+
+TEST(ResourceKnob, EdgeKnobBasics) {
+  Fixture f(testutil::edge_pool_app(5));
+  ResourceKnob knob = ResourceKnob::edge(f.app.service("caller"), "db");
+  EXPECT_TRUE(knob.is_edge());
+  EXPECT_EQ(knob.label(), "caller->db");
+  EXPECT_EQ(knob.current_size(), 5);
+  EXPECT_EQ(knob.completion_service(), f.app.service("db")->id());
+  knob.apply(9);
+  EXPECT_EQ(f.app.service("caller")->edge_pool_size("db"), 9);
+}
+
+TEST(ResourceKnob, CapacityAggregatesReplicas) {
+  Fixture f(testutil::single_service(2.0, 8));
+  Service* svc = f.app.service("svc");
+  svc->scale_replicas(3);
+  ResourceKnob knob = ResourceKnob::entry(svc);
+  EXPECT_EQ(knob.total_capacity(), 24);
+  EXPECT_EQ(knob.current_size(), 8);  // per replica
+}
+
+TEST(ResourceKnob, InUseTracksActiveRequests) {
+  Fixture f(testutil::single_service(2.0, 8, 1000, 0, 0.0));
+  ResourceKnob knob = ResourceKnob::entry(f.app.service("svc"));
+  EXPECT_EQ(knob.total_in_use(), 0);
+  f.app.inject(0, [](SimTime) {});
+  EXPECT_EQ(knob.total_in_use(), 1);
+  f.sim.run_all();
+  EXPECT_EQ(knob.total_in_use(), 0);
+  EXPECT_GT(knob.usage_integral(), 0.0);
+}
+
+TEST(ResourceKnob, Equality) {
+  Fixture f(testutil::edge_pool_app(5));
+  ResourceKnob a = ResourceKnob::edge(f.app.service("caller"), "db");
+  ResourceKnob b = ResourceKnob::edge(f.app.service("caller"), "db");
+  ResourceKnob c = ResourceKnob::entry(f.app.service("caller"));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace sora

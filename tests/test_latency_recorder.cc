@@ -1,0 +1,97 @@
+// Tests for client-side latency/goodput recording.
+#include "metrics/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+namespace sora {
+namespace {
+
+TEST(LatencyRecorder, PercentilesExact) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100));
+  for (int i = 1; i <= 100; ++i) rec.record(msec(i));
+  EXPECT_EQ(rec.count(), 100u);
+  EXPECT_NEAR(rec.percentile_ms(50), 50.5, 0.01);
+  EXPECT_NEAR(rec.percentile_ms(99), 99.01, 0.1);
+  EXPECT_NEAR(rec.mean_ms(), 50.5, 0.01);
+}
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100));
+  EXPECT_DOUBLE_EQ(rec.percentile_ms(99), 0.0);
+  EXPECT_DOUBLE_EQ(rec.average_goodput(), 0.0);
+  EXPECT_DOUBLE_EQ(rec.good_fraction(), 0.0);
+}
+
+TEST(LatencyRecorder, GoodputCountsWithinSla) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100));
+  sim.schedule_at(sec(10), [&] {
+    for (int i = 0; i < 60; ++i) rec.record(msec(50));   // good
+    for (int i = 0; i < 40; ++i) rec.record(msec(200));  // bad
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(rec.good_fraction(), 0.6);
+  // 60 good over 10 seconds elapsed.
+  EXPECT_NEAR(rec.average_goodput(), 6.0, 0.01);
+}
+
+TEST(LatencyRecorder, SlaBoundaryInclusive) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100));
+  sim.schedule_at(sec(1), [&] {
+    rec.record(msec(100));
+    rec.record(msec(100) + 1);
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(rec.good_fraction(), 0.5);
+}
+
+TEST(LatencyRecorder, TimelineBuckets) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100), sec(1));
+  sim.schedule_at(msec(500), [&] { rec.record(msec(10)); });
+  sim.schedule_at(msec(2500), [&] {
+    rec.record(msec(20));
+    rec.record(msec(300));
+  });
+  sim.run_all();
+  const auto& tl = rec.timeline();
+  ASSERT_EQ(tl.size(), 3u);
+  EXPECT_EQ(tl[0].completed, 1u);
+  EXPECT_EQ(tl[1].completed, 0u);
+  EXPECT_EQ(tl[2].completed, 2u);
+  EXPECT_EQ(tl[2].good, 1u);
+  EXPECT_NEAR(tl[2].mean_rt_ms(), 160.0, 0.01);
+  EXPECT_NEAR(tl[2].max_rt_ms(), 300.0, 0.01);
+  EXPECT_EQ(tl[0].start, 0);
+  EXPECT_EQ(tl[2].start, sec(2));
+}
+
+TEST(LatencyRecorder, DistributionHistogram) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100));
+  rec.record(msec(5));
+  rec.record(msec(15));
+  rec.record(msec(15));
+  const LinearHistogram h = rec.distribution_ms(10.0, 5);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+}
+
+TEST(LatencyRecorder, SetSlaAffectsFutureRecords) {
+  Simulator sim;
+  LatencyRecorder rec(sim, msec(100));
+  sim.schedule_at(sec(1), [&] {
+    rec.record(msec(150));  // bad under 100ms SLA
+    rec.set_sla(msec(200));
+    rec.record(msec(150));  // good under 200ms SLA
+  });
+  sim.run_all();
+  EXPECT_DOUBLE_EQ(rec.good_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace sora

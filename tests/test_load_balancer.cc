@@ -1,0 +1,52 @@
+// Tests for replica selection policies.
+#include "svc/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+namespace sora {
+namespace {
+
+TEST(LoadBalancer, RoundRobinCycles) {
+  LoadBalancer lb(LoadBalancePolicy::kRoundRobin);
+  std::vector<int> outstanding{0, 0, 0};
+  EXPECT_EQ(lb.pick(outstanding), 0u);
+  EXPECT_EQ(lb.pick(outstanding), 1u);
+  EXPECT_EQ(lb.pick(outstanding), 2u);
+  EXPECT_EQ(lb.pick(outstanding), 0u);
+}
+
+TEST(LoadBalancer, RoundRobinHandlesShrinkingSet) {
+  LoadBalancer lb(LoadBalancePolicy::kRoundRobin);
+  std::vector<int> three{0, 0, 0};
+  lb.pick(three);
+  lb.pick(three);
+  std::vector<int> two{0, 0};
+  // Never out of range.
+  for (int i = 0; i < 10; ++i) EXPECT_LT(lb.pick(two), 2u);
+}
+
+TEST(LoadBalancer, LeastOutstandingPicksIdlest) {
+  LoadBalancer lb(LoadBalancePolicy::kLeastOutstanding);
+  EXPECT_EQ(lb.pick({5, 2, 7}), 1u);
+  EXPECT_EQ(lb.pick({0, 2, 7}), 0u);
+}
+
+TEST(LoadBalancer, LeastOutstandingTieBreaksFirst) {
+  LoadBalancer lb(LoadBalancePolicy::kLeastOutstanding);
+  EXPECT_EQ(lb.pick({3, 3, 3}), 0u);
+}
+
+TEST(LoadBalancer, PolicySwitch) {
+  LoadBalancer lb(LoadBalancePolicy::kRoundRobin);
+  EXPECT_EQ(lb.policy(), LoadBalancePolicy::kRoundRobin);
+  lb.set_policy(LoadBalancePolicy::kLeastOutstanding);
+  EXPECT_EQ(lb.pick({9, 1}), 1u);
+}
+
+TEST(LoadBalancer, SingleReplica) {
+  LoadBalancer lb;
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(lb.pick({42}), 0u);
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,193 @@
+// Tests for the SCG/SCT estimation models.
+#include "core/scg_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace sora {
+namespace {
+
+/// Synthesize scatter samples from a goodput law gp(Q) with noise.
+std::vector<SamplePoint> synth_samples(
+    const std::function<double(double)>& goodput_law,
+    const std::function<double(double)>& throughput_law, double q_max,
+    std::size_t n, std::uint64_t seed, double capacity = 0.0) {
+  Rng rng(seed);
+  std::vector<SamplePoint> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SamplePoint p;
+    p.at = static_cast<SimTime>(i) * msec(100);
+    p.concurrency = rng.uniform(0.5, q_max);
+    p.goodput = std::max(0.0, goodput_law(p.concurrency) +
+                                  rng.normal(0.0, 8.0));
+    p.throughput = std::max(0.0, throughput_law(p.concurrency) +
+                                     rng.normal(0.0, 8.0));
+    p.capacity = capacity;
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Saturating goodput that collapses beyond q_opt (threshold effect).
+double goodput_with_knee(double q, double q_opt) {
+  const double rise = 1000.0 * (1.0 - std::exp(-q / (q_opt / 3.0)));
+  const double penalty = q > 2.0 * q_opt ? (q - 2.0 * q_opt) * 40.0 : 0.0;
+  return rise - penalty;
+}
+
+TEST(ScgModel, AggregateBinsByRoundedConcurrency) {
+  ScgModel model;
+  std::vector<SamplePoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    SamplePoint p;
+    p.concurrency = 2.2;
+    p.goodput = 100 + i;
+    p.throughput = 200;
+    pts.push_back(p);
+  }
+  const auto curve = model.aggregate(pts);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].concurrency, 2.0);
+  EXPECT_NEAR(curve[0].value, 104.5, 1e-9);
+  EXPECT_EQ(curve[0].samples, 10u);
+}
+
+TEST(ScgModel, AggregateSkipsIdleBuckets) {
+  ScgModel model;
+  std::vector<SamplePoint> pts;
+  SamplePoint busy;
+  busy.concurrency = 3;
+  busy.goodput = 500;
+  busy.throughput = 1000;
+  SamplePoint idle;
+  idle.concurrency = 1;
+  idle.goodput = 1;
+  idle.throughput = 1;  // << 2% of max
+  pts.push_back(busy);
+  pts.push_back(idle);
+  const auto curve = model.aggregate(pts);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].concurrency, 3.0);
+}
+
+TEST(ScgModel, AggregateCensorsCapacityPinnedBuckets) {
+  ScgModel model;
+  std::vector<SamplePoint> pts;
+  for (int q = 1; q <= 10; ++q) {
+    SamplePoint p;
+    p.concurrency = q;
+    p.goodput = 100.0 * q;
+    p.throughput = 100.0 * q;
+    p.capacity = 10.0;
+    pts.push_back(p);
+  }
+  const auto curve = model.aggregate(pts);
+  // Q=10 >= 0.92 * 10 -> censored; Q=9 < 9.2 stays.
+  ASSERT_EQ(curve.size(), 9u);
+  EXPECT_DOUBLE_EQ(curve.back().concurrency, 9.0);
+}
+
+TEST(ScgModel, EstimateRecoversKnee) {
+  ScgOptions opts;
+  const double q_opt = 10.0;
+  const auto pts = synth_samples(
+      [&](double q) { return goodput_with_knee(q, q_opt); },
+      [&](double q) { return 1000.0 * (1.0 - std::exp(-q / 5.0)); }, 30.0,
+      1200, 42);
+  ScgModel model(opts);
+  const auto est = model.estimate(pts);
+  ASSERT_TRUE(est.valid) << est.failure;
+  EXPECT_GT(est.recommended, 4);
+  EXPECT_LT(est.recommended, 22);
+  EXPECT_GT(est.r_squared, 0.8);
+  EXPECT_GE(est.degree_used, opts.min_degree);
+}
+
+TEST(ScgModel, InsufficientSamplesFails) {
+  ScgModel model;
+  std::vector<SamplePoint> pts(10);
+  const auto est = model.estimate(pts);
+  EXPECT_FALSE(est.valid);
+  EXPECT_EQ(est.failure, "insufficient samples");
+}
+
+TEST(ScgModel, NarrowConcurrencyRangeFails) {
+  ScgModel model;
+  std::vector<SamplePoint> pts;
+  for (int i = 0; i < 200; ++i) {
+    SamplePoint p;
+    p.concurrency = 2.0;
+    p.goodput = 100.0;
+    p.throughput = 100.0;
+    pts.push_back(p);
+  }
+  const auto est = model.estimate(pts);
+  EXPECT_FALSE(est.valid);
+  EXPECT_EQ(est.failure, "insufficient concurrency range");
+}
+
+TEST(ScgModel, LinearRisingCurveHasNoKnee) {
+  // Goodput strictly proportional to concurrency (allocation still caps the
+  // system): the model must not fabricate a knee.
+  const auto pts = synth_samples([](double q) { return 50.0 * q; },
+                                 [](double q) { return 50.0 * q; }, 12.0,
+                                 800, 7);
+  ScgModel model;
+  const auto est = model.estimate(pts);
+  EXPECT_FALSE(est.valid);
+}
+
+TEST(ScgModel, SctUsesThroughput) {
+  // Goodput collapses at q > 8 but throughput keeps rising: SCT must pick a
+  // higher setting than SCG (the ConScale over-allocation the paper shows).
+  const auto law_gp = [](double q) {
+    return q <= 8 ? 120.0 * q : 960.0 - 90.0 * (q - 8);
+  };
+  const auto law_tp = [](double q) {
+    return 1200.0 * (1.0 - std::exp(-q / 6.0));
+  };
+  const auto pts = synth_samples(law_gp, law_tp, 25.0, 1500, 11);
+
+  ScgOptions scg_opts;
+  ScgModel scg(scg_opts);
+  ScgOptions sct_opts;
+  sct_opts.kind = ModelKind::kScatterConcurrencyThroughput;
+  ScgModel sct(sct_opts);
+
+  const auto est_scg = scg.estimate(pts);
+  const auto est_sct = sct.estimate(pts);
+  ASSERT_TRUE(est_scg.valid) << est_scg.failure;
+  ASSERT_TRUE(est_sct.valid) << est_sct.failure;
+  EXPECT_LT(est_scg.recommended, est_sct.recommended);
+}
+
+TEST(ScgModel, ModelKindNames) {
+  EXPECT_STREQ(to_string(ModelKind::kScatterConcurrencyGoodput), "SCG");
+  EXPECT_STREQ(to_string(ModelKind::kScatterConcurrencyThroughput), "SCT");
+}
+
+// Property: the estimate tracks the synthetic optimum across positions.
+class ScgRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ScgRecovery, KneeTracksOptimum) {
+  const double q_opt = GetParam();
+  const auto pts = synth_samples(
+      [&](double q) { return goodput_with_knee(q, q_opt); },
+      [&](double q) { return 1000.0 * (1.0 - std::exp(-q / (q_opt / 2))); },
+      q_opt * 3.0, 1500, 17);
+  ScgModel model;
+  const auto est = model.estimate(pts);
+  ASSERT_TRUE(est.valid) << est.failure << " q_opt=" << q_opt;
+  EXPECT_GT(est.recommended, static_cast<int>(q_opt * 0.4));
+  EXPECT_LT(est.recommended, static_cast<int>(q_opt * 2.5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Optima, ScgRecovery,
+                         ::testing::Values(6.0, 10.0, 16.0, 24.0));
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,140 @@
+// Tests for Service: compilation, scaling knobs, aggregates.
+#include "svc/service.h"
+
+#include <gtest/gtest.h>
+
+#include "svc/application.h"
+#include "test_util.h"
+#include "trace/tracer.h"
+
+namespace sora {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  Tracer tracer;
+  Application app;
+  explicit Fixture(ApplicationConfig cfg, std::uint64_t seed = 1)
+      : app(sim, tracer, std::move(cfg), seed) {}
+};
+
+TEST(Service, CompilesTopology) {
+  Fixture f(testutil::chain_app());
+  Service* front = f.app.service("front");
+  ASSERT_NE(front, nullptr);
+  const CompiledBehavior& b = front->behavior(0);
+  ASSERT_EQ(b.groups.size(), 1u);
+  ASSERT_EQ(b.groups[0].calls.size(), 1u);
+  EXPECT_EQ(b.groups[0].calls[0].target, f.app.service("mid"));
+  EXPECT_EQ(b.groups[0].calls[0].edge_index, -1);  // ungated
+}
+
+TEST(Service, BehaviorFallsBackToClassZero) {
+  Fixture f(testutil::single_service());
+  Service* svc = f.app.service("svc");
+  const CompiledBehavior& b0 = svc->behavior(0);
+  const CompiledBehavior& b7 = svc->behavior(7);
+  EXPECT_DOUBLE_EQ(b7.request_demand.mean_us, b0.request_demand.mean_us);
+}
+
+TEST(Service, EdgePoolIndexing) {
+  Fixture f(testutil::edge_pool_app(5));
+  Service* caller = f.app.service("caller");
+  EXPECT_GE(caller->edge_index_of("db"), 0);
+  EXPECT_EQ(caller->edge_index_of("nope"), -1);
+  EXPECT_EQ(caller->edge_pool_size("db"), 5);
+  EXPECT_EQ(caller->edge_capacity("db"), 5);
+  const CompiledBehavior& b = caller->behavior(0);
+  EXPECT_EQ(b.groups[0].calls[0].edge_index, caller->edge_index_of("db"));
+}
+
+TEST(Service, ScaleReplicasUpCreatesInstances) {
+  Fixture f(testutil::single_service());
+  Service* svc = f.app.service("svc");
+  EXPECT_EQ(svc->active_replicas(), 1);
+  svc->scale_replicas(3);
+  EXPECT_EQ(svc->active_replicas(), 3);
+  EXPECT_EQ(svc->total_replicas(), 3u);
+  // Entry capacity aggregates across replicas (8 per replica).
+  EXPECT_EQ(svc->entry_capacity(), 24);
+}
+
+TEST(Service, ScaleReplicasDownDeactivates) {
+  Fixture f(testutil::single_service());
+  Service* svc = f.app.service("svc");
+  svc->scale_replicas(4);
+  svc->scale_replicas(2);
+  EXPECT_EQ(svc->active_replicas(), 2);
+  EXPECT_EQ(svc->total_replicas(), 4u);  // instances retained for reuse
+  svc->scale_replicas(3);                 // reactivates one
+  EXPECT_EQ(svc->active_replicas(), 3);
+  EXPECT_EQ(svc->total_replicas(), 4u);
+}
+
+TEST(Service, ScaleNeverBelowOne) {
+  Fixture f(testutil::single_service());
+  Service* svc = f.app.service("svc");
+  svc->scale_replicas(0);
+  EXPECT_EQ(svc->active_replicas(), 1);
+}
+
+TEST(Service, VerticalScalingAppliesToAllReplicas) {
+  Fixture f(testutil::single_service(2.0));
+  Service* svc = f.app.service("svc");
+  svc->scale_replicas(3);
+  svc->set_cpu_limit(4.0);
+  EXPECT_DOUBLE_EQ(svc->cpu_limit(), 4.0);
+  for (std::size_t i = 0; i < svc->total_replicas(); ++i) {
+    EXPECT_DOUBLE_EQ(svc->instance(i).cpu().cores(), 4.0);
+  }
+  EXPECT_DOUBLE_EQ(svc->cpu_capacity(), 12.0);
+}
+
+TEST(Service, ResizeEntryPoolAppliesToAllReplicas) {
+  Fixture f(testutil::single_service(2.0, 8));
+  Service* svc = f.app.service("svc");
+  svc->scale_replicas(2);
+  svc->resize_entry_pool(20);
+  EXPECT_EQ(svc->entry_pool_size(), 20);
+  EXPECT_EQ(svc->entry_capacity(), 40);
+}
+
+TEST(Service, ResizeEdgePool) {
+  Fixture f(testutil::edge_pool_app(5));
+  Service* caller = f.app.service("caller");
+  caller->resize_edge_pool("db", 12);
+  EXPECT_EQ(caller->edge_pool_size("db"), 12);
+  EXPECT_EQ(caller->edge_capacity("db"), 12);
+}
+
+TEST(Service, ReactivatedReplicaInheritsCurrentKnobs) {
+  Fixture f(testutil::single_service(2.0, 8));
+  Service* svc = f.app.service("svc");
+  svc->scale_replicas(2);
+  svc->scale_replicas(1);
+  // Change knobs while replica 1 is inactive.
+  svc->set_cpu_limit(4.0);
+  svc->resize_entry_pool(16);
+  svc->scale_replicas(2);
+  EXPECT_DOUBLE_EQ(svc->instance(1).cpu().cores(), 4.0);
+  EXPECT_EQ(svc->instance(1).entry_pool().capacity(), 16);
+}
+
+TEST(Service, DemandScale) {
+  Fixture f(testutil::single_service());
+  Service* svc = f.app.service("svc");
+  EXPECT_DOUBLE_EQ(svc->demand_scale(), 1.0);
+  svc->set_demand_scale(2.5);
+  EXPECT_DOUBLE_EQ(svc->demand_scale(), 2.5);
+}
+
+TEST(Service, UnlimitedEntryPool) {
+  ApplicationConfig cfg = testutil::single_service();
+  cfg.services[0].entry_pool_size = 0;
+  Fixture f(std::move(cfg));
+  Service* svc = f.app.service("svc");
+  EXPECT_GE(svc->instance(0).entry_pool().capacity(), 1'000'000);
+}
+
+}  // namespace
+}  // namespace sora

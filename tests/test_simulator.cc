@@ -1,0 +1,155 @@
+// Tests for the discrete-event simulation engine.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sora {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfter) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run_all();
+  SimTime fired_at = -1;
+  sim.schedule_after(50, [&] { fired_at = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, HandleNotPendingAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(1, [] {});
+  sim.run_all();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_at(10, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(20, [&] { fired.push_back(sim.now()); });
+  sim.schedule_at(30, [&] { fired.push_back(sim.now()); });
+  sim.run_until(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.now(), 20);
+  sim.run_until(25);
+  EXPECT_EQ(sim.now(), 25);  // clock advances even with no events
+  sim.run_until(100);
+  EXPECT_EQ(fired.size(), 3u);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, EventsScheduledDuringExecutionRun) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.schedule_after(5, [&] { order.push_back(2); });
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), 15);
+}
+
+TEST(Simulator, ImmediateEventDuringExecution) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(10, [&] {
+    sim.schedule_after(0, [&] { ++count; });
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_periodic(10, [&] { fired.push_back(sim.now()); });
+  sim.run_until(35);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30}));
+}
+
+TEST(Simulator, PeriodicCancelStops) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.schedule_periodic(10, [&] { ++count; });
+  sim.run_until(25);
+  EXPECT_EQ(count, 2);
+  h.cancel();
+  sim.run_until(100);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicCancelFromWithinCallback) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  h = sim.schedule_periodic(10, [&] {
+    if (++count == 3) h.cancel();
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_at(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ManyEventsStress) {
+  Simulator sim;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule_at((i * 7919) % 100000, [&sum] { ++sum; });
+  }
+  sim.run_all();
+  EXPECT_EQ(sum, 10000u);
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,170 @@
+// Tests for soft-resource pools (the paper's threads/connections).
+#include "svc/soft_resource.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace sora {
+namespace {
+
+TEST(SoftResourcePool, GrantsImmediatelyWhenFree) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", 2);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 2);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(SoftResourcePool, QueuesWhenFull) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", 1);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 1);
+  EXPECT_EQ(pool.waiting(), 1u);
+  pool.release();
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(pool.in_use(), 1);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(SoftResourcePool, FifoOrder) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kDbConnections, "db", 1);
+  std::vector<int> order;
+  pool.acquire([&] {});
+  for (int i = 0; i < 5; ++i) {
+    pool.acquire([&order, i] { order.push_back(i); });
+  }
+  for (int i = 0; i < 5; ++i) pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SoftResourcePool, ResizeGrowAdmitsWaiters) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", 1);
+  int granted = 0;
+  for (int i = 0; i < 4; ++i) pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 1);
+  pool.resize(3);
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(pool.in_use(), 3);
+  EXPECT_EQ(pool.capacity(), 3);
+  EXPECT_EQ(pool.waiting(), 1u);
+}
+
+TEST(SoftResourcePool, ResizeShrinkIsLazy) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", 3);
+  int granted = 0;
+  for (int i = 0; i < 3; ++i) pool.acquire([&] { ++granted; });
+  pool.resize(1);
+  // Slots in use are not revoked.
+  EXPECT_EQ(pool.in_use(), 3);
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 3);  // queued: over capacity
+  pool.release();
+  EXPECT_EQ(pool.in_use(), 2);
+  // Still above the new capacity: no admission.
+  EXPECT_EQ(granted, 3);
+  pool.release();
+  pool.release();
+  // Now in_use 0 < 1: waiter admitted on the first release below capacity.
+  EXPECT_EQ(granted, 4);
+  EXPECT_EQ(pool.in_use(), 1);
+}
+
+TEST(SoftResourcePool, WaitStatistics) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kClientConnections, "c", 1);
+  pool.acquire([] {});
+  sim.schedule_at(100, [&] { pool.acquire([] {}); });
+  sim.run_all();
+  EXPECT_EQ(pool.total_waits(), 1u);
+  sim.schedule_at(250, [&] { pool.release(); });
+  sim.run_all();
+  EXPECT_EQ(pool.total_wait_time(), 150);
+  EXPECT_EQ(pool.total_acquires(), 2u);
+}
+
+TEST(SoftResourcePool, UsageIntegralTracksTime) {
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", 4);
+  pool.acquire([] {});
+  pool.acquire([] {});
+  sim.schedule_at(1000, [&] { pool.release(); });
+  sim.run_all();
+  sim.schedule_at(2000, [] {});
+  sim.run_all();
+  // 2 slots x 1000us + 1 slot x 1000us = 3000 slot-usec.
+  EXPECT_DOUBLE_EQ(pool.usage_integral(), 3000.0);
+}
+
+TEST(SoftResourcePool, GrantCanReenterPool) {
+  // A grant callback that releases and re-acquires must not corrupt state.
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", 1);
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      pool.release();
+      pool.acquire(chain);
+    }
+  };
+  pool.acquire(chain);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(SoftResourcePool, Kinds) {
+  EXPECT_STREQ(to_string(PoolKind::kServerThreads), "server-threads");
+  EXPECT_STREQ(to_string(PoolKind::kDbConnections), "db-connections");
+  EXPECT_STREQ(to_string(PoolKind::kClientConnections), "client-connections");
+}
+
+// Property: for any interleaving pattern, in_use never exceeds capacity and
+// waiters are admitted exactly once.
+class PoolProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PoolProperty, InvariantsUnderRandomOps) {
+  const int capacity = GetParam();
+  Simulator sim;
+  SoftResourcePool pool(sim, PoolKind::kServerThreads, "t", capacity);
+  int grants = 0;
+  int releases_pending = 0;
+  unsigned v = static_cast<unsigned>(capacity) * 2654435761u + 17;
+  int acquires = 0;
+  for (int step = 0; step < 500; ++step) {
+    v = v * 1664525u + 1013904223u;
+    if (v % 3 != 0 || releases_pending == 0) {
+      ++acquires;
+      pool.acquire([&] {
+        ++grants;
+        ++releases_pending;
+      });
+    } else {
+      pool.release();
+      --releases_pending;
+    }
+    ASSERT_LE(pool.in_use(), std::max(capacity, pool.in_use()));
+    ASSERT_GE(pool.in_use(), 0);
+  }
+  // Drain: everything queued is eventually granted.
+  while (pool.waiting() > 0 || releases_pending > 0) {
+    if (releases_pending == 0) break;
+    pool.release();
+    --releases_pending;
+  }
+  EXPECT_EQ(grants, acquires - static_cast<int>(pool.waiting()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, PoolProperty, ::testing::Values(1, 2, 3, 8, 64));
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,140 @@
+// Tests for statistics helpers (mean/variance/Pearson/MAPE/percentiles).
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace sora {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{2.0, 4.0}), 1.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{2.0, 4.0}), 1.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  std::vector<double> xs{1, 1, 1};
+  std::vector<double> ys{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(ys, xs), 0.0);
+}
+
+TEST(Stats, PearsonShortSeriesIsZero) {
+  std::vector<double> one{1.0};
+  EXPECT_DOUBLE_EQ(pearson(one, one), 0.0);
+}
+
+TEST(Stats, PearsonIndependentNearZero) {
+  // Deterministic "uncorrelated" pattern.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 1000; ++i) {
+    xs.push_back(static_cast<double>(i % 7));
+    ys.push_back(static_cast<double>((i * 37 + 11) % 13));
+  }
+  EXPECT_LT(std::abs(pearson(xs, ys)), 0.1);
+}
+
+TEST(Stats, MapeBasics) {
+  std::vector<double> actual{100, 200};
+  std::vector<double> pred{110, 180};
+  // |10/100| = 10%, |20/200| = 10% -> 10%
+  EXPECT_NEAR(mape(actual, pred), 10.0, 1e-9);
+}
+
+TEST(Stats, MapeSkipsZeroActuals) {
+  std::vector<double> actual{0, 100};
+  std::vector<double> pred{50, 150};
+  EXPECT_NEAR(mape(actual, pred), 50.0, 1e-9);
+}
+
+TEST(Stats, MapeEmpty) {
+  EXPECT_DOUBLE_EQ(mape(std::vector<double>{}, std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  std::vector<double> xs{40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
+  // Out-of-range p clamps.
+  std::vector<double> xs{1, 2};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 2.0);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 31.0);
+}
+
+TEST(Stats, RunningStatsReset) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+}
+
+// Property: percentile is monotone in p.
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  const int seed = GetParam();
+  std::vector<double> xs;
+  unsigned v = static_cast<unsigned>(seed) * 2654435761u + 1;
+  for (int i = 0; i < 100; ++i) {
+    v = v * 1664525u + 1013904223u;
+    xs.push_back(static_cast<double>(v % 10000));
+  }
+  double prev = -1.0;
+  for (double p = 0; p <= 100.0; p += 2.5) {
+    const double q = percentile(xs, p);
+    EXPECT_GE(q, prev);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace sora

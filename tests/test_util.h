@@ -1,0 +1,159 @@
+// Shared helpers for the test suite: small topologies and synthetic traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "svc/config.h"
+#include "trace/span.h"
+
+namespace sora::testutil {
+
+/// One service "svc": no downstream calls, configurable demand/pool/cores.
+inline ApplicationConfig single_service(double cores = 2.0,
+                                        int entry_pool = 8,
+                                        double req_us = 1000,
+                                        double resp_us = 500,
+                                        double cv = 0.0) {
+  ApplicationConfig app;
+  ServiceConfig s;
+  s.name = "svc";
+  s.with_cores(cores).with_entry_pool(entry_pool);
+  s.with_demand(0, req_us, resp_us, cv);
+  app.services.push_back(s);
+  app.entry_service[0] = "svc";
+  return app;
+}
+
+/// Chain: front -> mid -> leaf (deterministic demands by default).
+inline ApplicationConfig chain_app(double cv = 0.0) {
+  ApplicationConfig app;
+  {
+    ServiceConfig s;
+    s.name = "front";
+    s.with_cores(4).with_entry_pool(64);
+    s.with_demand(0, 500, 300, cv);
+    s.with_call(0, "mid");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "mid";
+    s.with_cores(4).with_entry_pool(32);
+    s.with_demand(0, 800, 400, cv);
+    s.with_call(0, "leaf");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "leaf";
+    s.with_cores(4).with_entry_pool(32);
+    s.with_demand(0, 1200, 0, cv);
+    app.services.push_back(s);
+  }
+  app.entry_service[0] = "front";
+  return app;
+}
+
+/// Fan-out: front calls {a, b} in parallel; a is slower.
+inline ApplicationConfig fanout_app(double a_us = 3000, double b_us = 1000,
+                                    double cv = 0.0) {
+  ApplicationConfig app;
+  {
+    ServiceConfig s;
+    s.name = "front";
+    s.with_cores(4).with_entry_pool(64);
+    s.with_demand(0, 200, 200, cv);
+    s.with_parallel_calls(0, {"a", "b"});
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "a";
+    s.with_cores(4).with_entry_pool(32);
+    s.with_demand(0, a_us, 0, cv);
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "b";
+    s.with_cores(4).with_entry_pool(32);
+    s.with_demand(0, b_us, 0, cv);
+    app.services.push_back(s);
+  }
+  app.entry_service[0] = "front";
+  return app;
+}
+
+/// Caller with a gated edge pool to a leaf target ("db").
+inline ApplicationConfig edge_pool_app(int connections, double db_us = 1000,
+                                       double cv = 0.0) {
+  ApplicationConfig app;
+  {
+    ServiceConfig s;
+    s.name = "caller";
+    s.with_cores(8).with_entry_pool(0);
+    s.with_edge_pool("db", connections, PoolKind::kDbConnections);
+    s.with_demand(0, 100, 100, cv);
+    s.with_call(0, "db");
+    app.services.push_back(s);
+  }
+  {
+    ServiceConfig s;
+    s.name = "db";
+    s.with_cores(4).with_entry_pool(512);
+    s.with_demand(0, db_us, 0, cv);
+    app.services.push_back(s);
+  }
+  app.entry_service[0] = "caller";
+  return app;
+}
+
+/// Build a synthetic trace by hand. Spans are given as tuples; children are
+/// linked through the parent index.
+struct SyntheticSpan {
+  int parent_index;  // -1 for root
+  std::uint64_t service;
+  SimTime arrival;
+  SimTime departure;
+  SimTime downstream_wait;
+  int parallel_group = 0;
+};
+
+inline Trace make_trace(const std::vector<SyntheticSpan>& spans,
+                        std::uint64_t trace_id = 1) {
+  Trace t;
+  t.id = TraceId(trace_id);
+  t.request_class = 0;
+  t.start = spans.empty() ? 0 : spans.front().arrival;
+  t.end = spans.empty() ? 0 : spans.front().departure;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SyntheticSpan& ss = spans[i];
+    Span s;
+    s.id = SpanId(trace_id * 1000 + i);
+    s.trace = t.id;
+    s.parent = ss.parent_index >= 0
+                   ? SpanId(trace_id * 1000 +
+                            static_cast<std::uint64_t>(ss.parent_index))
+                   : SpanId{};
+    s.service = ServiceId(ss.service);
+    s.instance = InstanceId(0);
+    s.arrival = ss.arrival;
+    s.admitted = ss.arrival;
+    s.departure = ss.departure;
+    s.downstream_wait = ss.downstream_wait;
+    t.spans.push_back(s);
+  }
+  // Wire children links.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].parent_index < 0) continue;
+    Span& parent = t.spans[static_cast<std::size_t>(spans[i].parent_index)];
+    parent.children.push_back(ChildCall{t.spans[i].id,
+                                        spans[i].parallel_group,
+                                        spans[i].arrival,
+                                        spans[i].departure});
+  }
+  return t;
+}
+
+}  // namespace sora::testutil

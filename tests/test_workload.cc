@@ -1,0 +1,120 @@
+// Tests for the six bursty trace shapes.
+#include "workload/traces.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sora {
+namespace {
+
+TEST(Traces, AllShapesListed) {
+  EXPECT_EQ(all_trace_shapes().size(), 6u);
+}
+
+TEST(Traces, NamesMatchPaper) {
+  EXPECT_STREQ(to_string(TraceShape::kLargeVariation), "Large Variation");
+  EXPECT_STREQ(to_string(TraceShape::kQuickVarying), "Quick Varying");
+  EXPECT_STREQ(to_string(TraceShape::kSlowlyVarying), "Slowly Varying");
+  EXPECT_STREQ(to_string(TraceShape::kBigSpike), "Big Spike");
+  EXPECT_STREQ(to_string(TraceShape::kDualPhase), "Dual Phase");
+  EXPECT_STREQ(to_string(TraceShape::kSteepTriPhase), "Steep Tri Phase");
+}
+
+// Property: every shape maps [0,1] into [0,1] and clamps outside inputs.
+class ShapeBounds : public ::testing::TestWithParam<TraceShape> {};
+
+TEST_P(ShapeBounds, IntensityWithinUnitInterval) {
+  const TraceShape shape = GetParam();
+  for (int i = -10; i <= 110; ++i) {
+    const double t = static_cast<double>(i) / 100.0;
+    const double v = trace_intensity(shape, t);
+    EXPECT_GE(v, 0.0) << to_string(shape) << " t=" << t;
+    EXPECT_LE(v, 1.0) << to_string(shape) << " t=" << t;
+  }
+}
+
+TEST_P(ShapeBounds, HasMeaningfulDynamicRange) {
+  const TraceShape shape = GetParam();
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i <= 1000; ++i) {
+    const double v = trace_intensity(shape, i / 1000.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi - lo, 0.3) << to_string(shape);
+  EXPECT_GT(hi, 0.75) << to_string(shape);  // every trace reaches a crest
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, ShapeBounds,
+    ::testing::ValuesIn(all_trace_shapes()),
+    [](const ::testing::TestParamInfo<TraceShape>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(Traces, BigSpikeIsSpiky) {
+  // Big Spike: short crest, low elsewhere.
+  int above = 0;
+  const int n = 1000;
+  for (int i = 0; i <= n; ++i) {
+    if (trace_intensity(TraceShape::kBigSpike, i / 1000.0) > 0.6) ++above;
+  }
+  EXPECT_GT(above, 0);
+  EXPECT_LT(above, n / 6);
+}
+
+TEST(Traces, QuickVaryingOscillatesFasterThanSlowlyVarying) {
+  auto count_direction_changes = [](TraceShape shape) {
+    int changes = 0;
+    double prev = trace_intensity(shape, 0.0);
+    double prev_delta = 0.0;
+    for (int i = 1; i <= 1000; ++i) {
+      const double v = trace_intensity(shape, i / 1000.0);
+      const double delta = v - prev;
+      if (delta * prev_delta < 0) ++changes;
+      if (delta != 0.0) prev_delta = delta;
+      prev = v;
+    }
+    return changes;
+  };
+  EXPECT_GT(count_direction_changes(TraceShape::kQuickVarying),
+            count_direction_changes(TraceShape::kSlowlyVarying) + 4);
+}
+
+TEST(Traces, DualPhaseHasTwoLevels) {
+  const double early = trace_intensity(TraceShape::kDualPhase, 0.2);
+  const double late = trace_intensity(TraceShape::kDualPhase, 0.7);
+  EXPECT_GT(late, early + 0.3);
+}
+
+TEST(WorkloadTrace, MapsIntensityToRates) {
+  WorkloadTrace trace(TraceShape::kSlowlyVarying, sec(100), 100.0, 900.0);
+  EXPECT_EQ(trace.duration(), sec(100));
+  EXPECT_DOUBLE_EQ(trace.base_rate(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.peak_rate(), 900.0);
+  double lo = 1e9, hi = 0.0;
+  for (SimTime t = 0; t <= sec(100); t += sec(1)) {
+    const double r = trace.rate_at(t);
+    EXPECT_GE(r, 100.0);
+    EXPECT_LE(r, 900.0);
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_LT(lo, 300.0);
+  EXPECT_GT(hi, 800.0);
+  EXPECT_LE(hi, trace.max_rate());
+}
+
+TEST(WorkloadTrace, ClampsOutsideDuration) {
+  WorkloadTrace trace(TraceShape::kDualPhase, sec(10), 10.0, 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(-5), trace.rate_at(0));
+  EXPECT_DOUBLE_EQ(trace.rate_at(sec(20)), trace.rate_at(sec(10)));
+}
+
+}  // namespace
+}  // namespace sora
