@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_convergence"
+  "../bench/ablation_convergence.pdb"
+  "CMakeFiles/ablation_convergence.dir/ablation_convergence.cc.o"
+  "CMakeFiles/ablation_convergence.dir/ablation_convergence.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_deadline_prop"
+  "../bench/ablation_deadline_prop.pdb"
+  "CMakeFiles/ablation_deadline_prop.dir/ablation_deadline_prop.cc.o"
+  "CMakeFiles/ablation_deadline_prop.dir/ablation_deadline_prop.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline_prop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_deadline_prop.
+# This may be replaced when dependencies are built.

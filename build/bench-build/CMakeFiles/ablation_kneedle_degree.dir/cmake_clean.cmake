@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_kneedle_degree"
+  "../bench/ablation_kneedle_degree.pdb"
+  "CMakeFiles/ablation_kneedle_degree.dir/ablation_kneedle_degree.cc.o"
+  "CMakeFiles/ablation_kneedle_degree.dir/ablation_kneedle_degree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kneedle_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_hpa_overalloc"
+  "../bench/fig01_hpa_overalloc.pdb"
+  "CMakeFiles/fig01_hpa_overalloc.dir/fig01_hpa_overalloc.cc.o"
+  "CMakeFiles/fig01_hpa_overalloc.dir/fig01_hpa_overalloc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_hpa_overalloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

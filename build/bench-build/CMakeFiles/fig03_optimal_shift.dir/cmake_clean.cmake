@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_optimal_shift"
+  "../bench/fig03_optimal_shift.pdb"
+  "CMakeFiles/fig03_optimal_shift.dir/fig03_optimal_shift.cc.o"
+  "CMakeFiles/fig03_optimal_shift.dir/fig03_optimal_shift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_optimal_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

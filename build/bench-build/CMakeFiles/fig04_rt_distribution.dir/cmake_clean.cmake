@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_rt_distribution"
+  "../bench/fig04_rt_distribution.pdb"
+  "CMakeFiles/fig04_rt_distribution.dir/fig04_rt_distribution.cc.o"
+  "CMakeFiles/fig04_rt_distribution.dir/fig04_rt_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_rt_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

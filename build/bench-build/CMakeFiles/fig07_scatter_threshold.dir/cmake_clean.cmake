@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_scatter_threshold"
+  "../bench/fig07_scatter_threshold.pdb"
+  "CMakeFiles/fig07_scatter_threshold.dir/fig07_scatter_threshold.cc.o"
+  "CMakeFiles/fig07_scatter_threshold.dir/fig07_scatter_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_scatter_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_scatter_threshold.
+# This may be replaced when dependencies are built.

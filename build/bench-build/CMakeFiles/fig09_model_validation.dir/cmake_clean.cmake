@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_model_validation"
+  "../bench/fig09_model_validation.pdb"
+  "CMakeFiles/fig09_model_validation.dir/fig09_model_validation.cc.o"
+  "CMakeFiles/fig09_model_validation.dir/fig09_model_validation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

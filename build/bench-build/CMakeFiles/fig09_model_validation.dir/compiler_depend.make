@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_model_validation.
+# This may be replaced when dependencies are built.

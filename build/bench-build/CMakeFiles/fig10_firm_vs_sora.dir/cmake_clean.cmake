@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_firm_vs_sora"
+  "../bench/fig10_firm_vs_sora.pdb"
+  "CMakeFiles/fig10_firm_vs_sora.dir/fig10_firm_vs_sora.cc.o"
+  "CMakeFiles/fig10_firm_vs_sora.dir/fig10_firm_vs_sora.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_firm_vs_sora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_state_drift"
+  "../bench/fig12_state_drift.pdb"
+  "CMakeFiles/fig12_state_drift.dir/fig12_state_drift.cc.o"
+  "CMakeFiles/fig12_state_drift.dir/fig12_state_drift.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_state_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_model_cost"
+  "../bench/micro_model_cost.pdb"
+  "CMakeFiles/micro_model_cost.dir/micro_model_cost.cc.o"
+  "CMakeFiles/micro_model_cost.dir/micro_model_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_model_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

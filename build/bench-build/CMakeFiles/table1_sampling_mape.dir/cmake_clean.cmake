@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sampling_mape"
+  "../bench/table1_sampling_mape.pdb"
+  "CMakeFiles/table1_sampling_mape.dir/table1_sampling_mape.cc.o"
+  "CMakeFiles/table1_sampling_mape.dir/table1_sampling_mape.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sampling_mape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_firm_sora_traces"
+  "../bench/table2_firm_sora_traces.pdb"
+  "CMakeFiles/table2_firm_sora_traces.dir/table2_firm_sora_traces.cc.o"
+  "CMakeFiles/table2_firm_sora_traces.dir/table2_firm_sora_traces.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_firm_sora_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_conscale_sora_goodput"
+  "../bench/table3_conscale_sora_goodput.pdb"
+  "CMakeFiles/table3_conscale_sora_goodput.dir/table3_conscale_sora_goodput.cc.o"
+  "CMakeFiles/table3_conscale_sora_goodput.dir/table3_conscale_sora_goodput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_conscale_sora_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_conscale_sora_goodput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_topology.dir/custom_topology.cpp.o"
+  "CMakeFiles/custom_topology.dir/custom_topology.cpp.o.d"
+  "custom_topology"
+  "custom_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_network_drift.dir/social_network_drift.cpp.o"
+  "CMakeFiles/social_network_drift.dir/social_network_drift.cpp.o.d"
+  "social_network_drift"
+  "social_network_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_network_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sock_shop_autoscale.dir/sock_shop_autoscale.cpp.o"
+  "CMakeFiles/sock_shop_autoscale.dir/sock_shop_autoscale.cpp.o.d"
+  "sock_shop_autoscale"
+  "sock_shop_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sock_shop_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sock_shop_autoscale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/social_network.cc" "src/apps/CMakeFiles/sora_apps.dir/social_network.cc.o" "gcc" "src/apps/CMakeFiles/sora_apps.dir/social_network.cc.o.d"
+  "/root/repo/src/apps/sock_shop.cc" "src/apps/CMakeFiles/sora_apps.dir/sock_shop.cc.o" "gcc" "src/apps/CMakeFiles/sora_apps.dir/sock_shop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/svc/CMakeFiles/sora_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

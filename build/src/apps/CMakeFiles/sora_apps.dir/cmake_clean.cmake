@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_apps.dir/social_network.cc.o"
+  "CMakeFiles/sora_apps.dir/social_network.cc.o.d"
+  "CMakeFiles/sora_apps.dir/sock_shop.cc.o"
+  "CMakeFiles/sora_apps.dir/sock_shop.cc.o.d"
+  "libsora_apps.a"
+  "libsora_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

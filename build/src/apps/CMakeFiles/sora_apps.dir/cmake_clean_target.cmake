@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsora_apps.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_autoscale.dir/autoscaler.cc.o"
+  "CMakeFiles/sora_autoscale.dir/autoscaler.cc.o.d"
+  "CMakeFiles/sora_autoscale.dir/firm.cc.o"
+  "CMakeFiles/sora_autoscale.dir/firm.cc.o.d"
+  "CMakeFiles/sora_autoscale.dir/hpa.cc.o"
+  "CMakeFiles/sora_autoscale.dir/hpa.cc.o.d"
+  "CMakeFiles/sora_autoscale.dir/vpa.cc.o"
+  "CMakeFiles/sora_autoscale.dir/vpa.cc.o.d"
+  "libsora_autoscale.a"
+  "libsora_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

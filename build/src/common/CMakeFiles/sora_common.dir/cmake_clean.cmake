@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_common.dir/histogram.cc.o"
+  "CMakeFiles/sora_common.dir/histogram.cc.o.d"
+  "CMakeFiles/sora_common.dir/log.cc.o"
+  "CMakeFiles/sora_common.dir/log.cc.o.d"
+  "CMakeFiles/sora_common.dir/polyfit.cc.o"
+  "CMakeFiles/sora_common.dir/polyfit.cc.o.d"
+  "CMakeFiles/sora_common.dir/stats.cc.o"
+  "CMakeFiles/sora_common.dir/stats.cc.o.d"
+  "CMakeFiles/sora_common.dir/table.cc.o"
+  "CMakeFiles/sora_common.dir/table.cc.o.d"
+  "libsora_common.a"
+  "libsora_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adapter.cc" "src/core/CMakeFiles/sora_core.dir/adapter.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/adapter.cc.o.d"
+  "/root/repo/src/core/deadline.cc" "src/core/CMakeFiles/sora_core.dir/deadline.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/deadline.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/sora_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/hillclimb.cc" "src/core/CMakeFiles/sora_core.dir/hillclimb.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/hillclimb.cc.o.d"
+  "/root/repo/src/core/kneedle.cc" "src/core/CMakeFiles/sora_core.dir/kneedle.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/kneedle.cc.o.d"
+  "/root/repo/src/core/localization.cc" "src/core/CMakeFiles/sora_core.dir/localization.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/localization.cc.o.d"
+  "/root/repo/src/core/scg_model.cc" "src/core/CMakeFiles/sora_core.dir/scg_model.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/scg_model.cc.o.d"
+  "/root/repo/src/core/sora.cc" "src/core/CMakeFiles/sora_core.dir/sora.cc.o" "gcc" "src/core/CMakeFiles/sora_core.dir/sora.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/sora_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sora_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_core.dir/adapter.cc.o"
+  "CMakeFiles/sora_core.dir/adapter.cc.o.d"
+  "CMakeFiles/sora_core.dir/deadline.cc.o"
+  "CMakeFiles/sora_core.dir/deadline.cc.o.d"
+  "CMakeFiles/sora_core.dir/estimator.cc.o"
+  "CMakeFiles/sora_core.dir/estimator.cc.o.d"
+  "CMakeFiles/sora_core.dir/hillclimb.cc.o"
+  "CMakeFiles/sora_core.dir/hillclimb.cc.o.d"
+  "CMakeFiles/sora_core.dir/kneedle.cc.o"
+  "CMakeFiles/sora_core.dir/kneedle.cc.o.d"
+  "CMakeFiles/sora_core.dir/localization.cc.o"
+  "CMakeFiles/sora_core.dir/localization.cc.o.d"
+  "CMakeFiles/sora_core.dir/scg_model.cc.o"
+  "CMakeFiles/sora_core.dir/scg_model.cc.o.d"
+  "CMakeFiles/sora_core.dir/sora.cc.o"
+  "CMakeFiles/sora_core.dir/sora.cc.o.d"
+  "libsora_core.a"
+  "libsora_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_harness.dir/experiment.cc.o"
+  "CMakeFiles/sora_harness.dir/experiment.cc.o.d"
+  "libsora_harness.a"
+  "libsora_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

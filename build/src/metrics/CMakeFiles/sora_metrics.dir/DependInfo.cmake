@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/knob.cc" "src/metrics/CMakeFiles/sora_metrics.dir/knob.cc.o" "gcc" "src/metrics/CMakeFiles/sora_metrics.dir/knob.cc.o.d"
+  "/root/repo/src/metrics/latency_recorder.cc" "src/metrics/CMakeFiles/sora_metrics.dir/latency_recorder.cc.o" "gcc" "src/metrics/CMakeFiles/sora_metrics.dir/latency_recorder.cc.o.d"
+  "/root/repo/src/metrics/scatter_sampler.cc" "src/metrics/CMakeFiles/sora_metrics.dir/scatter_sampler.cc.o" "gcc" "src/metrics/CMakeFiles/sora_metrics.dir/scatter_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/sora_svc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

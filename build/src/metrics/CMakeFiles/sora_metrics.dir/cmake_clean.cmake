@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_metrics.dir/knob.cc.o"
+  "CMakeFiles/sora_metrics.dir/knob.cc.o.d"
+  "CMakeFiles/sora_metrics.dir/latency_recorder.cc.o"
+  "CMakeFiles/sora_metrics.dir/latency_recorder.cc.o.d"
+  "CMakeFiles/sora_metrics.dir/scatter_sampler.cc.o"
+  "CMakeFiles/sora_metrics.dir/scatter_sampler.cc.o.d"
+  "libsora_metrics.a"
+  "libsora_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

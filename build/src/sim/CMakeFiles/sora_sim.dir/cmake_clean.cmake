@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_sim.dir/simulator.cc.o"
+  "CMakeFiles/sora_sim.dir/simulator.cc.o.d"
+  "libsora_sim.a"
+  "libsora_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

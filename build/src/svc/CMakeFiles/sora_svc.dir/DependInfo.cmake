@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/svc/application.cc" "src/svc/CMakeFiles/sora_svc.dir/application.cc.o" "gcc" "src/svc/CMakeFiles/sora_svc.dir/application.cc.o.d"
+  "/root/repo/src/svc/cpu.cc" "src/svc/CMakeFiles/sora_svc.dir/cpu.cc.o" "gcc" "src/svc/CMakeFiles/sora_svc.dir/cpu.cc.o.d"
+  "/root/repo/src/svc/instance.cc" "src/svc/CMakeFiles/sora_svc.dir/instance.cc.o" "gcc" "src/svc/CMakeFiles/sora_svc.dir/instance.cc.o.d"
+  "/root/repo/src/svc/load_balancer.cc" "src/svc/CMakeFiles/sora_svc.dir/load_balancer.cc.o" "gcc" "src/svc/CMakeFiles/sora_svc.dir/load_balancer.cc.o.d"
+  "/root/repo/src/svc/service.cc" "src/svc/CMakeFiles/sora_svc.dir/service.cc.o" "gcc" "src/svc/CMakeFiles/sora_svc.dir/service.cc.o.d"
+  "/root/repo/src/svc/soft_resource.cc" "src/svc/CMakeFiles/sora_svc.dir/soft_resource.cc.o" "gcc" "src/svc/CMakeFiles/sora_svc.dir/soft_resource.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sora_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sora_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_svc.dir/application.cc.o"
+  "CMakeFiles/sora_svc.dir/application.cc.o.d"
+  "CMakeFiles/sora_svc.dir/cpu.cc.o"
+  "CMakeFiles/sora_svc.dir/cpu.cc.o.d"
+  "CMakeFiles/sora_svc.dir/instance.cc.o"
+  "CMakeFiles/sora_svc.dir/instance.cc.o.d"
+  "CMakeFiles/sora_svc.dir/load_balancer.cc.o"
+  "CMakeFiles/sora_svc.dir/load_balancer.cc.o.d"
+  "CMakeFiles/sora_svc.dir/service.cc.o"
+  "CMakeFiles/sora_svc.dir/service.cc.o.d"
+  "CMakeFiles/sora_svc.dir/soft_resource.cc.o"
+  "CMakeFiles/sora_svc.dir/soft_resource.cc.o.d"
+  "libsora_svc.a"
+  "libsora_svc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_svc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

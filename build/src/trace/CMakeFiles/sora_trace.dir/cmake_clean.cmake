@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_trace.dir/critical_path.cc.o"
+  "CMakeFiles/sora_trace.dir/critical_path.cc.o.d"
+  "CMakeFiles/sora_trace.dir/tracer.cc.o"
+  "CMakeFiles/sora_trace.dir/tracer.cc.o.d"
+  "CMakeFiles/sora_trace.dir/warehouse.cc.o"
+  "CMakeFiles/sora_trace.dir/warehouse.cc.o.d"
+  "libsora_trace.a"
+  "libsora_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sora_workload.dir/generator.cc.o"
+  "CMakeFiles/sora_workload.dir/generator.cc.o.d"
+  "CMakeFiles/sora_workload.dir/traces.cc.o"
+  "CMakeFiles/sora_workload.dir/traces.cc.o.d"
+  "libsora_workload.a"
+  "libsora_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sora_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

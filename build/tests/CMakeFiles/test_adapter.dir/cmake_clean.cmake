@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adapter.dir/test_adapter.cc.o"
+  "CMakeFiles/test_adapter.dir/test_adapter.cc.o.d"
+  "test_adapter"
+  "test_adapter.pdb"
+  "test_adapter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

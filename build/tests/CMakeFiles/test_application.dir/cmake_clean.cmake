@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_application.dir/test_application.cc.o"
+  "CMakeFiles/test_application.dir/test_application.cc.o.d"
+  "test_application"
+  "test_application.pdb"
+  "test_application[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoscalers.dir/test_autoscalers.cc.o"
+  "CMakeFiles/test_autoscalers.dir/test_autoscalers.cc.o.d"
+  "test_autoscalers"
+  "test_autoscalers.pdb"
+  "test_autoscalers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoscalers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

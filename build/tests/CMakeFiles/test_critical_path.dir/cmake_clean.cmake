@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_critical_path.dir/test_critical_path.cc.o"
+  "CMakeFiles/test_critical_path.dir/test_critical_path.cc.o.d"
+  "test_critical_path"
+  "test_critical_path.pdb"
+  "test_critical_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generator.dir/test_generator.cc.o"
+  "CMakeFiles/test_generator.dir/test_generator.cc.o.d"
+  "test_generator"
+  "test_generator.pdb"
+  "test_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

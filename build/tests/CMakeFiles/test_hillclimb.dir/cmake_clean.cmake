@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hillclimb.dir/test_hillclimb.cc.o"
+  "CMakeFiles/test_hillclimb.dir/test_hillclimb.cc.o.d"
+  "test_hillclimb"
+  "test_hillclimb.pdb"
+  "test_hillclimb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hillclimb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kneedle.dir/test_kneedle.cc.o"
+  "CMakeFiles/test_kneedle.dir/test_kneedle.cc.o.d"
+  "test_kneedle"
+  "test_kneedle.pdb"
+  "test_kneedle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kneedle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

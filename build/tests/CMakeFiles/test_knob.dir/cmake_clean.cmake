@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knob.dir/test_knob.cc.o"
+  "CMakeFiles/test_knob.dir/test_knob.cc.o.d"
+  "test_knob"
+  "test_knob.pdb"
+  "test_knob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_recorder.dir/test_latency_recorder.cc.o"
+  "CMakeFiles/test_latency_recorder.dir/test_latency_recorder.cc.o.d"
+  "test_latency_recorder"
+  "test_latency_recorder.pdb"
+  "test_latency_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

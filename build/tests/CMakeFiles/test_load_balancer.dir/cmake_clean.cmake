@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_load_balancer.dir/test_load_balancer.cc.o"
+  "CMakeFiles/test_load_balancer.dir/test_load_balancer.cc.o.d"
+  "test_load_balancer"
+  "test_load_balancer.pdb"
+  "test_load_balancer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

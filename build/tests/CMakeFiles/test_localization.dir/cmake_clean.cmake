@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localization.dir/test_localization.cc.o"
+  "CMakeFiles/test_localization.dir/test_localization.cc.o.d"
+  "test_localization"
+  "test_localization.pdb"
+  "test_localization[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polyfit.dir/test_polyfit.cc.o"
+  "CMakeFiles/test_polyfit.dir/test_polyfit.cc.o.d"
+  "test_polyfit"
+  "test_polyfit.pdb"
+  "test_polyfit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polyfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

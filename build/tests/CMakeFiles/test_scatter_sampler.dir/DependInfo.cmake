@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_scatter_sampler.cc" "tests/CMakeFiles/test_scatter_sampler.dir/test_scatter_sampler.cc.o" "gcc" "tests/CMakeFiles/test_scatter_sampler.dir/test_scatter_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/sora_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/autoscale/CMakeFiles/sora_autoscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sora_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/sora_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sora_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sora_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/svc/CMakeFiles/sora_svc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sora_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/sora_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sora_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

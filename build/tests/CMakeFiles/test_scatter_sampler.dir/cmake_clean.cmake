@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scatter_sampler.dir/test_scatter_sampler.cc.o"
+  "CMakeFiles/test_scatter_sampler.dir/test_scatter_sampler.cc.o.d"
+  "test_scatter_sampler"
+  "test_scatter_sampler.pdb"
+  "test_scatter_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scatter_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

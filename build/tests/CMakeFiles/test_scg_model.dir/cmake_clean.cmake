@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scg_model.dir/test_scg_model.cc.o"
+  "CMakeFiles/test_scg_model.dir/test_scg_model.cc.o.d"
+  "test_scg_model"
+  "test_scg_model.pdb"
+  "test_scg_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

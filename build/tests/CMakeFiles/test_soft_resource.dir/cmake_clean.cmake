@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_soft_resource.dir/test_soft_resource.cc.o"
+  "CMakeFiles/test_soft_resource.dir/test_soft_resource.cc.o.d"
+  "test_soft_resource"
+  "test_soft_resource.pdb"
+  "test_soft_resource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_soft_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

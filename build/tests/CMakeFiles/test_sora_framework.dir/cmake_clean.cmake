@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sora_framework.dir/test_sora_framework.cc.o"
+  "CMakeFiles/test_sora_framework.dir/test_sora_framework.cc.o.d"
+  "test_sora_framework"
+  "test_sora_framework.pdb"
+  "test_sora_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sora_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warehouse.dir/test_warehouse.cc.o"
+  "CMakeFiles/test_warehouse.dir/test_warehouse.cc.o.d"
+  "test_warehouse"
+  "test_warehouse.pdb"
+  "test_warehouse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
