@@ -1,6 +1,8 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -129,6 +131,12 @@ struct CartTraceConfig {
   /// (SCG) and latency-agnostic (SCT) models genuinely diverge.
   double demand_scale = 1.0;
   std::uint64_t seed = 42;
+  /// When non-empty, the run's telemetry is exported into this directory
+  /// (created if needed): <tag>_decisions.jsonl (control-decision audit
+  /// log), <tag>_trace.json (Chrome trace_event, load into
+  /// ui.perfetto.dev), <tag>_cart_timeline.csv, <tag>_metrics.jsonl.
+  std::string telemetry_dir;
+  std::string telemetry_tag = "run";
 };
 
 struct CartTraceResult {
@@ -196,7 +204,31 @@ inline CartTraceResult run_cart_trace(const CartTraceConfig& cfg) {
   }
 
   exp.track_service("cart");
+  if (!cfg.telemetry_dir.empty()) exp.enable_metrics_sampling(sec(5));
   exp.run();
+
+  if (!cfg.telemetry_dir.empty()) {
+    std::filesystem::create_directories(cfg.telemetry_dir);
+    const std::string base = cfg.telemetry_dir + "/" + cfg.telemetry_tag;
+    {
+      std::ofstream os(base + "_decisions.jsonl");
+      exp.export_decision_log(os);
+    }
+    {
+      std::ofstream os(base + "_trace.json");
+      obs::ChromeTraceOptions topt;
+      topt.max_traces = 200;  // keep the viewer file small
+      exp.export_chrome_trace(os, topt);
+    }
+    {
+      std::ofstream os(base + "_cart_timeline.csv");
+      exp.export_timelines_csv("cart", os);
+    }
+    {
+      std::ofstream os(base + "_metrics.jsonl");
+      exp.export_metrics_jsonl(os);
+    }
+  }
 
   CartTraceResult out;
   out.summary = exp.summary();

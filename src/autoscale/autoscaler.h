@@ -8,12 +8,15 @@
 // critical-service localization.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/time.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
 
 namespace sora {
 
@@ -47,15 +50,36 @@ class Autoscaler {
 
   const std::vector<ScaleEvent>& history() const { return history_; }
 
+  /// Attach a control-decision audit log: every control round appends one
+  /// record per managed service — including explicit "hold" verdicts, so
+  /// quiet rounds are distinguishable from missing telemetry. Nullptr
+  /// detaches.
+  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+  obs::DecisionLog* decision_log() const { return decision_log_; }
+
+  /// Attach a metrics registry: notify() counts scale events into it
+  /// (counter "scale.events", labels controller/service/kind).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  protected:
-  void notify(const ScaleEvent& ev) {
-    history_.push_back(ev);
-    for (const auto& cb : listeners_) cb(ev);
-  }
+  /// Record the event in history, count it into the metrics registry (if
+  /// attached), and invoke the scale listeners. Defined in autoscaler.cc
+  /// (needs the Service definition for its name).
+  void notify(const ScaleEvent& ev);
+
+  /// Append a per-round decision record (no-op without a log). Fills in
+  /// the controller name and current round number.
+  void record_decision(obs::ControlDecisionRecord rec);
+
+  /// Bump and return the control-round counter; call once per tick.
+  std::uint64_t next_round() { return ++rounds_; }
 
  private:
   std::vector<ScaleListener> listeners_;
   std::vector<ScaleEvent> history_;
+  obs::DecisionLog* decision_log_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t rounds_ = 0;
 };
 
 /// Snapshot-based CPU utilization tracker shared by the scalers: call

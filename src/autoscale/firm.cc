@@ -42,6 +42,7 @@ void FirmAutoscaler::start() {
 void FirmAutoscaler::stop() { tick_event_.cancel(); }
 
 void FirmAutoscaler::tick() {
+  next_round();
   const SimTime now = sim_.now();
 
   // End-to-end p99 over the last window, from the trace warehouse.
@@ -70,6 +71,20 @@ void FirmAutoscaler::tick() {
   const double current = critical->cpu_limit();
   double desired = current;
 
+  obs::ControlDecisionRecord rec;
+  rec.at = now;
+  rec.target = critical->name();
+  rec.critical_service =
+      app_.service(last_report_.critical) != nullptr
+          ? app_.service(last_report_.critical)->name()
+          : "";
+  rec.traces_analyzed = last_report_.traces_analyzed;
+  rec.observed_p99_ms = to_msec(static_cast<SimTime>(p99));
+  rec.observed_utilization = util;
+  rec.old_replicas = rec.new_replicas = critical->active_replicas();
+  rec.old_cores = rec.new_cores = current;
+  rec.action = "hold";
+
   const bool violating =
       p99 > static_cast<double>(options_.slo_latency) ||
       util > options_.high_utilization;
@@ -80,14 +95,22 @@ void FirmAutoscaler::tick() {
   if (violating) {
     low_periods_ = 0;
     desired = std::min(options_.max_cores, current + options_.step_cores);
+    rec.reason = desired == current
+                     ? "SLO violation or high utilization, but at max cores"
+                     : "SLO violation or utilization above high watermark";
   } else if (relaxed) {
     ++low_periods_;
     if (low_periods_ >= options_.downscale_stabilization_periods) {
       desired = std::max(options_.min_cores, current - options_.step_cores);
       low_periods_ = 0;
+      rec.reason = desired == current ? "relaxed but at min cores"
+                                      : "stabilized relaxed latency";
+    } else {
+      rec.reason = "latency relaxed, awaiting downscale stabilization";
     }
   } else {
     low_periods_ = 0;
+    rec.reason = "latency and utilization within bounds";
   }
 
   if (desired != current) {
@@ -100,10 +123,13 @@ void FirmAutoscaler::tick() {
     ev.new_cores = desired;
     ev.at = now;
     notify(ev);
+    rec.action = desired > current ? "scale_up" : "scale_down";
+    rec.new_cores = desired;
     SORA_INFO << "FIRM " << critical->name() << " cores " << current << " -> "
               << desired << " (p99 " << to_msec(static_cast<SimTime>(p99))
               << "ms, util " << util << ")";
   }
+  record_decision(std::move(rec));
   util_.epoch();
 }
 

@@ -26,6 +26,7 @@ void HorizontalPodAutoscaler::start() {
 void HorizontalPodAutoscaler::stop() { tick_event_.cancel(); }
 
 void HorizontalPodAutoscaler::tick() {
+  next_round();
   for (Managed& m : managed_) {
     Service& svc = *m.service;
     const double util = util_.utilization(svc);
@@ -38,6 +39,14 @@ void HorizontalPodAutoscaler::tick() {
     }
     desired = std::clamp(desired, options_.min_replicas, options_.max_replicas);
 
+    obs::ControlDecisionRecord rec;
+    rec.at = sim_.now();
+    rec.target = svc.name();
+    rec.observed_utilization = util;
+    rec.old_replicas = current;
+    rec.new_replicas = current;
+    rec.old_cores = rec.new_cores = svc.cpu_limit();
+
     if (desired > current) {
       m.low_periods = 0;
       svc.scale_replicas(desired);
@@ -49,6 +58,9 @@ void HorizontalPodAutoscaler::tick() {
       ev.old_cores = ev.new_cores = svc.cpu_limit();
       ev.at = sim_.now();
       notify(ev);
+      rec.action = "scale_out";
+      rec.reason = "utilization above target";
+      rec.new_replicas = desired;
       SORA_INFO << "HPA scale-out " << svc.name() << " " << current << " -> "
                 << desired << " (util " << util << ")";
     } else if (desired < current) {
@@ -66,15 +78,24 @@ void HorizontalPodAutoscaler::tick() {
         ev.old_cores = ev.new_cores = svc.cpu_limit();
         ev.at = sim_.now();
         notify(ev);
+        rec.action = "scale_in";
+        rec.reason = "stabilized low desired replica count";
+        rec.new_replicas = target;
         SORA_INFO << "HPA scale-in " << svc.name() << " " << current << " -> "
                   << target << " (util " << util << ")";
         m.low_periods = 0;
         m.pending_down = 0;
+      } else {
+        rec.action = "hold";
+        rec.reason = "desire below current, awaiting downscale stabilization";
       }
     } else {
       m.low_periods = 0;
       m.pending_down = 0;
+      rec.action = "hold";
+      rec.reason = "utilization within tolerance of target";
     }
+    record_decision(std::move(rec));
   }
   util_.epoch();
 }

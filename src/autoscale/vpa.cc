@@ -24,23 +24,39 @@ void VerticalPodAutoscaler::start() {
 void VerticalPodAutoscaler::stop() { tick_event_.cancel(); }
 
 void VerticalPodAutoscaler::tick() {
+  next_round();
   for (Managed& m : managed_) {
     Service& svc = *m.service;
     const double util = util_.utilization(svc);
     const double current = svc.cpu_limit();
     double desired = current;
 
+    obs::ControlDecisionRecord rec;
+    rec.at = sim_.now();
+    rec.target = svc.name();
+    rec.observed_utilization = util;
+    rec.old_replicas = rec.new_replicas = svc.active_replicas();
+    rec.old_cores = rec.new_cores = current;
+    rec.action = "hold";
+
     if (util > options_.high_utilization) {
       m.low_periods = 0;
       desired = std::min(options_.max_cores, current + options_.step_cores);
+      rec.reason = desired == current ? "high utilization but at max cores"
+                                      : "utilization above high watermark";
     } else if (util < options_.low_utilization) {
       ++m.low_periods;
       if (m.low_periods >= options_.downscale_stabilization_periods) {
         desired = std::max(options_.min_cores, current - options_.step_cores);
         m.low_periods = 0;
+        rec.reason = desired == current ? "low utilization but at min cores"
+                                        : "stabilized low utilization";
+      } else {
+        rec.reason = "low utilization, awaiting downscale stabilization";
       }
     } else {
       m.low_periods = 0;
+      rec.reason = "utilization within watermarks";
     }
 
     if (desired != current) {
@@ -53,9 +69,12 @@ void VerticalPodAutoscaler::tick() {
       ev.new_cores = desired;
       ev.at = sim_.now();
       notify(ev);
+      rec.action = desired > current ? "scale_up" : "scale_down";
+      rec.new_cores = desired;
       SORA_INFO << "VPA " << svc.name() << " cores " << current << " -> "
                 << desired << " (util " << util << ")";
     }
+    record_decision(std::move(rec));
   }
   util_.epoch();
 }

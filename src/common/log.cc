@@ -1,9 +1,29 @@
 #include "common/log.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace sora {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+/// Initial level comes from SORA_LOG_LEVEL (debug|info|warn|error|off),
+/// defaulting to warn, so bench/example binaries can be made verbose
+/// without a rebuild.
+LogLevel level_from_env() {
+  const char* env = std::getenv("SORA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string_view v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+LogLevel g_level = level_from_env();
+const void* g_clock_ctx = nullptr;
+LogClockFn g_clock_fn = nullptr;
 
 std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -25,10 +45,35 @@ std::string_view level_name(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+void set_log_clock(const void* ctx, LogClockFn fn) {
+  g_clock_ctx = ctx;
+  g_clock_fn = fn;
+}
+
+void clear_log_clock(const void* ctx) {
+  if (g_clock_ctx == ctx) {
+    g_clock_ctx = nullptr;
+    g_clock_fn = nullptr;
+  }
+}
+
+bool log_clock_now(SimTime* out) {
+  if (g_clock_fn == nullptr) return false;
+  *out = g_clock_fn(g_clock_ctx);
+  return true;
+}
+
 namespace detail {
 void log_line(LogLevel level, std::string_view msg) {
   if (level < g_level) return;
-  std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  SimTime now = 0;
+  if (log_clock_now(&now)) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp), " %.3fs", to_sec(now));
+    std::cerr << "[" << level_name(level) << stamp << "] " << msg << '\n';
+  } else {
+    std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+  }
 }
 }  // namespace detail
 

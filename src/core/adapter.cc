@@ -61,11 +61,13 @@ AdaptAction ConcurrencyAdapter::adapt(const ResourceKnob& knob,
       // Wait for the next round to confirm before shrinking a working pool.
       action.new_size = action.old_size;
       action.type = AdaptAction::Type::kNone;
+      action.reason = "shrink pending confirmation";
     } else if (action.new_size != action.old_size) {
       st.pending_shrinks = 0;
       st.last_applied_at = now;
       knob.apply(action.new_size);
       action.type = AdaptAction::Type::kApplied;
+      action.reason = "estimate applied";
       SORA_INFO << "adapter: " << knob.label() << " " << action.old_size
                 << " -> " << action.new_size << " (knee "
                 << est.knee_concurrency << ")";
@@ -74,6 +76,7 @@ AdaptAction ConcurrencyAdapter::adapt(const ResourceKnob& knob,
       st.last_applied_at = now;  // model confirms current size is the knee
       action.new_size = action.old_size;
       action.type = AdaptAction::Type::kNone;
+      action.reason = "estimate confirms current size";
     }
   } else {
     st.pending_shrinks = 0;
@@ -106,14 +109,23 @@ AdaptAction ConcurrencyAdapter::adapt(const ResourceKnob& knob,
       if (action.new_size != action.old_size) {
         knob.apply(action.new_size);
         action.type = AdaptAction::Type::kExplored;
+        action.reason =
+            emergency
+                ? "emergency exploration: saturated, good fraction collapsed"
+                : "exploration: saturated, no visible knee";
         SORA_INFO << "adapter: exploring " << knob.label() << " "
                   << action.old_size << " -> " << action.new_size;
       } else {
         action.type = AdaptAction::Type::kNone;
+        action.reason = "saturated at size ceiling";
       }
     } else {
       action.new_size = action.old_size;
       action.type = AdaptAction::Type::kNone;
+      action.reason = in_cooldown ? "saturated but in exploration cooldown"
+                      : est.failure.empty()
+                          ? "not saturated, no estimate"
+                          : "no estimate (" + est.failure + "), not saturated";
     }
   }
   history_.push_back(action);
@@ -131,11 +143,13 @@ AdaptAction ConcurrencyAdapter::rescale_proportional(const ResourceKnob& knob,
   if (action.new_size != action.old_size) {
     knob.apply(action.new_size);
     action.type = AdaptAction::Type::kProportional;
+    action.reason = "proportional rescale after hardware scale";
     SORA_INFO << "adapter: proportional " << knob.label() << " "
               << action.old_size << " -> " << action.new_size << " (x"
               << factor << ")";
   } else {
     action.type = AdaptAction::Type::kNone;
+    action.reason = "proportional rescale is a no-op";
   }
   history_.push_back(action);
   return action;

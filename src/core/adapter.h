@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/time.h"
@@ -60,6 +61,8 @@ struct AdaptAction {
   int old_size = 0;
   int new_size = 0;
   SimTime at = 0;
+  /// Human-readable rationale for the verdict (fed into the decision log).
+  std::string reason;
 };
 
 const char* to_string(AdaptAction::Type type);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profiler.h"
 #include "trace/critical_path.h"
 
 namespace sora {
@@ -9,13 +10,17 @@ namespace sora {
 DeadlineResult propagate_deadline(const TraceWarehouse& warehouse, SimTime from,
                                   SimTime to, ServiceId critical, SimTime sla,
                                   const DeadlineOptions& options) {
+  SORA_PROFILE_STAGE("sora.deadline_prop");
   DeadlineResult result;
   double upstream_sum = 0.0;
   warehouse.for_each_in_window(from, to, [&](const Trace& t) {
     if (options.request_class >= 0 && t.request_class != options.request_class) {
       return;
     }
-    const CriticalPath cp = extract_critical_path(t);
+    const CriticalPath cp = [&] {
+      SORA_PROFILE_STAGE("trace.critical_path");
+      return extract_critical_path(t);
+    }();
     const SimTime upstream = upstream_processing_time(cp, critical);
     if (upstream < 0) return;  // critical service not on this path
     upstream_sum += static_cast<double>(upstream);

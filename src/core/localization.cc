@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/stats.h"
+#include "obs/profiler.h"
 #include "sim/simulator.h"
 #include "svc/application.h"
 #include "trace/critical_path.h"
@@ -24,6 +25,7 @@ void CriticalServiceLocalizer::begin_window() {
 }
 
 CriticalServiceReport CriticalServiceLocalizer::analyze() {
+  SORA_PROFILE_STAGE("sora.localization");
   CriticalServiceReport report;
   const SimTime now = app_.sim().now();
   const SimTime elapsed = now - window_start_;
@@ -56,7 +58,10 @@ CriticalServiceReport CriticalServiceLocalizer::analyze() {
   std::map<std::uint64_t, double> pt_sums;
   warehouse_.for_each_in_window(window_start_, now, [&](const Trace& t) {
     ++report.traces_analyzed;
-    const CriticalPath cp = extract_critical_path(t);
+    const CriticalPath cp = [&] {
+      SORA_PROFILE_STAGE("trace.critical_path");
+      return extract_critical_path(t);
+    }();
     for (const CriticalHop& hop : cp.hops) {
       pts[hop.service.value()].push_back(
           static_cast<double>(hop.processing_time));

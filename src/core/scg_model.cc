@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "obs/profiler.h"
+
 namespace sora {
 
 const char* to_string(ModelKind kind) {
@@ -25,6 +27,7 @@ double ScgModel::sample_value(const SamplePoint& p) const {
 
 std::vector<CurvePoint> ScgModel::aggregate(
     std::span<const SamplePoint> samples) const {
+  SORA_PROFILE_STAGE("scg.aggregate");
   // Filter out idle buckets, then bin by rounded concurrency and average
   // ("for a specific server concurrency Q_n we calculate the average
   // goodput GP_n", Section 3.2).
@@ -58,6 +61,7 @@ std::vector<CurvePoint> ScgModel::aggregate(
 
 ConcurrencyEstimate ScgModel::estimate(
     std::span<const SamplePoint> samples) const {
+  SORA_PROFILE_STAGE("scg.estimate");
   ConcurrencyEstimate est;
   est.points_used = samples.size();
 
@@ -93,7 +97,10 @@ ConcurrencyEstimate ScgModel::estimate(
   const int max_degree =
       std::min<int>(options_.max_degree, static_cast<int>(xs.size()) - 2);
   for (int degree = options_.min_degree; degree <= max_degree; ++degree) {
-    const PolyFitResult fit = polyfit(xs, ys, degree);
+    const PolyFitResult fit = [&] {
+      SORA_PROFILE_STAGE("scg.polyfit");
+      return polyfit(xs, ys, degree);
+    }();
     if (!fit.ok) continue;
 
     std::vector<double> smooth(xs.size());
@@ -102,7 +109,10 @@ ConcurrencyEstimate ScgModel::estimate(
       smooth[i] = (fit.poly)(xs[i]);
       fit_peak = std::max(fit_peak, smooth[i]);
     }
-    auto knee = kneedle(xs, smooth, options_.kneedle);
+    auto knee = [&] {
+      SORA_PROFILE_STAGE("scg.kneedle");
+      return kneedle(xs, smooth, options_.kneedle);
+    }();
     // Reject knees below the saturation plateau (see min_knee_fraction).
     if (knee && knee->y < options_.min_knee_fraction * fit_peak) {
       knee.reset();

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "svc/application.h"
 #include "svc/service.h"
 
@@ -50,19 +52,65 @@ void SoraFramework::stop() {
   tick_.cancel();
 }
 
+const char* SoraFramework::controller_name() const {
+  return options_.model == ModelKind::kScatterConcurrencyGoodput ? "sora"
+                                                                 : "conscale";
+}
+
 void SoraFramework::control_round() {
+  SORA_PROFILE_STAGE("sora.control_round");
   ++control_rounds_;
   const SimTime now = app_.sim().now();
+  const char* controller = controller_name();
 
   // Critical Service Localization Phase.
   last_report_ = localizer_.analyze();
   localizer_.begin_window();
 
+  obs::MetricsRegistry& metrics = app_.metrics();
+  metrics.counter("control.rounds", {{"controller", controller}}).add();
+
+  // Resolve the localization verdict once; every knob's record shares it.
+  std::string critical_name;
+  double critical_util = 0.0;
+  double critical_pcc = 0.0;
+  if (last_report_.critical.valid()) {
+    for (const auto& svc : app_.services()) {
+      if (svc->id() == last_report_.critical) {
+        critical_name = svc->name();
+        break;
+      }
+    }
+    for (const ServiceDiagnostics& d : last_report_.services) {
+      if (d.service == last_report_.critical) {
+        critical_util = d.utilization;
+        critical_pcc = d.pcc;
+        break;
+      }
+    }
+  }
+
   for (const ResourceKnob& knob : knobs_) {
+    obs::ControlDecisionRecord rec;
+    rec.at = now;
+    rec.controller = controller;
+    rec.round = control_rounds_;
+    rec.target = knob.label();
+    rec.critical_service = critical_name;
+    rec.critical_utilization = critical_util;
+    rec.critical_pcc = critical_pcc;
+    rec.traces_analyzed = last_report_.traces_analyzed;
+
     const ServiceId knob_service = knob.completion_service();
     if (options_.adapt_only_critical && last_report_.critical.valid() &&
         knob_service != last_report_.critical &&
         knob.service()->id() != last_report_.critical) {
+      if (decision_log_ != nullptr) {
+        rec.action = "skipped";
+        rec.reason = "knob not associated with the critical service";
+        rec.old_size = rec.new_size = knob.current_size();
+        decision_log_->append(std::move(rec));
+      }
       continue;
     }
 
@@ -75,17 +123,65 @@ void SoraFramework::control_round() {
       if (dl.valid) {
         estimator_.set_rt_threshold(knob, dl.rt_threshold);
       }
+      rec.deadline_valid = dl.valid;
+      rec.rt_threshold = estimator_.rt_threshold(knob);
+      rec.mean_upstream_pt = dl.mean_upstream_pt;
     }
 
     // Estimation Phase + Reallocation.
     const ConcurrencyEstimate est = estimator_.estimate(knob);
+    if (est.valid) last_valid_estimate_[knob.label()] = now;
+    const double good_fraction = estimator_.good_fraction(knob);
     const AdaptAction action = adapter_.adapt(
         knob, est, estimator_.concurrency_quantile(knob, 90.0), now,
-        estimator_.good_fraction(knob));
+        good_fraction);
     if (action.type != AdaptAction::Type::kNone) {
       // Samples gathered under the old allocation describe a different
       // system; restart the scatter for the new one.
       estimator_.clear(knob);
+    }
+
+    const obs::MetricLabels knob_labels{{"knob", knob.label()}};
+    metrics.gauge("sora.scatter_points", knob_labels)
+        .set(static_cast<double>(est.points_used));
+    metrics.gauge("sora.rt_threshold_us", knob_labels)
+        .set(static_cast<double>(estimator_.rt_threshold(knob)));
+    if (est.valid) {
+      metrics.counter("sora.estimates_valid", knob_labels).add();
+      metrics.gauge("sora.knee_concurrency", knob_labels)
+          .set(est.knee_concurrency);
+      metrics.gauge("sora.fit_degree", knob_labels)
+          .set(static_cast<double>(est.degree_used));
+    } else {
+      metrics.counter("sora.estimate_failures", knob_labels).add();
+    }
+    const auto age_it = last_valid_estimate_.find(knob.label());
+    metrics.gauge("sora.estimate_age_us", knob_labels)
+        .set(age_it == last_valid_estimate_.end()
+                 ? -1.0
+                 : static_cast<double>(now - age_it->second));
+    metrics
+        .counter("sora.actions", {{"controller", controller},
+                                  {"action", to_string(action.type)}})
+        .add();
+
+    if (decision_log_ != nullptr) {
+      rec.estimate_valid = est.valid;
+      rec.scatter_points = est.points_used;
+      rec.recommended = est.recommended;
+      rec.knee_concurrency = est.knee_concurrency;
+      rec.knee_value = est.knee_value;
+      rec.peak_concurrency = est.peak_concurrency;
+      rec.peak_value = est.peak_value;
+      rec.degree_used = est.degree_used;
+      rec.r_squared = est.r_squared;
+      rec.good_fraction = good_fraction;
+      rec.estimate_failure = est.failure;
+      rec.action = to_string(action.type);
+      rec.reason = action.reason;
+      rec.old_size = action.old_size;
+      rec.new_size = action.new_size;
+      decision_log_->append(std::move(rec));
     }
   }
 }
@@ -117,7 +213,23 @@ void SoraFramework::on_hardware_scaled(Service* service, double old_cores,
     }
 
     if (factor != 1.0) {
-      adapter_.rescale_proportional(knob, factor, now);
+      const AdaptAction action = adapter_.rescale_proportional(knob, factor, now);
+      if (decision_log_ != nullptr) {
+        obs::ControlDecisionRecord rec;
+        rec.at = now;
+        rec.controller = controller_name();
+        rec.round = control_rounds_;
+        rec.target = knob.label();
+        rec.action = to_string(action.type);
+        rec.reason = action.reason;
+        rec.old_size = action.old_size;
+        rec.new_size = action.new_size;
+        rec.old_cores = old_cores;
+        rec.new_cores = new_cores;
+        rec.old_replicas = old_replicas;
+        rec.new_replicas = new_replicas;
+        decision_log_->append(std::move(rec));
+      }
     }
     // The learned concurrency-goodput curve described the old hardware.
     estimator_.clear(knob);

@@ -14,6 +14,8 @@
 // (make_conscale_options).
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/adapter.h"
@@ -22,6 +24,7 @@
 #include "core/localization.h"
 #include "core/scg_model.h"
 #include "metrics/knob.h"
+#include "obs/decision_log.h"
 #include "sim/simulator.h"
 #include "trace/warehouse.h"
 
@@ -76,6 +79,16 @@ class SoraFramework {
   void on_hardware_scaled(Service* service, double old_cores, double new_cores,
                           int old_replicas, int new_replicas);
 
+  /// Attach a control-decision audit log. One record is appended per
+  /// managed knob per control round (including skipped/held knobs) and per
+  /// proportional rescale triggered by hardware scaling. Nullptr detaches.
+  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+  obs::DecisionLog* decision_log() const { return decision_log_; }
+
+  /// "sora" for the SCG model, "conscale" for the SCT baseline; used as the
+  /// controller tag in decision records and metric labels.
+  const char* controller_name() const;
+
   // -- introspection -----------------------------------------------------------
 
   ConcurrencyEstimator& estimator() { return estimator_; }
@@ -102,6 +115,11 @@ class SoraFramework {
   EventHandle tick_;
   bool running_ = false;
   std::uint64_t control_rounds_ = 0;
+
+  obs::DecisionLog* decision_log_ = nullptr;
+  // knob label -> sim time of the last valid estimate (drives the
+  // "estimate age" gauge: how stale is the knowledge the knob runs on).
+  std::map<std::string, SimTime> last_valid_estimate_;
 };
 
 }  // namespace sora

@@ -12,6 +12,7 @@ Experiment::Experiment(ApplicationConfig app_config, ExperimentConfig config)
                                        config_.seed);
   recorder_ = std::make_unique<LatencyRecorder>(sim_, config_.sla,
                                                 config_.timeline_bucket);
+  profile_baseline_ = obs::OverheadProfiler::global().stats();
 }
 
 Experiment::~Experiment() = default;
@@ -41,12 +42,15 @@ ClosedLoopGenerator& Experiment::closed_loop(int users, SimTime think_mean,
 SoraFramework& Experiment::add_sora(SoraFrameworkOptions options) {
   frameworks_.push_back(
       std::make_unique<SoraFramework>(*app_, warehouse_, options));
+  frameworks_.back()->set_decision_log(&decision_log_);
   return *frameworks_.back();
 }
 
 HorizontalPodAutoscaler& Experiment::add_hpa(HpaOptions options) {
   auto hpa = std::make_unique<HorizontalPodAutoscaler>(sim_, *app_, options);
   auto* ptr = hpa.get();
+  ptr->set_decision_log(&decision_log_);
+  ptr->set_metrics(&app_->metrics());
   scalers_.push_back(std::move(hpa));
   return *ptr;
 }
@@ -54,6 +58,8 @@ HorizontalPodAutoscaler& Experiment::add_hpa(HpaOptions options) {
 VerticalPodAutoscaler& Experiment::add_vpa(VpaOptions options) {
   auto vpa = std::make_unique<VerticalPodAutoscaler>(sim_, *app_, options);
   auto* ptr = vpa.get();
+  ptr->set_decision_log(&decision_log_);
+  ptr->set_metrics(&app_->metrics());
   scalers_.push_back(std::move(vpa));
   return *ptr;
 }
@@ -62,6 +68,8 @@ FirmAutoscaler& Experiment::add_firm(FirmOptions options) {
   auto firm =
       std::make_unique<FirmAutoscaler>(sim_, *app_, warehouse_, options);
   auto* ptr = firm.get();
+  ptr->set_decision_log(&decision_log_);
+  ptr->set_metrics(&app_->metrics());
   scalers_.push_back(std::move(firm));
   return *ptr;
 }
@@ -131,6 +139,10 @@ void Experiment::sample_tracked() {
   }
 }
 
+void Experiment::enable_metrics_sampling(SimTime period) {
+  metrics_period_ = period;
+}
+
 void Experiment::start_all() {
   if (started_) return;
   started_ = true;
@@ -141,6 +153,14 @@ void Experiment::start_all() {
   if (!tracked_.empty()) {
     track_tick_ = sim_.schedule_periodic(config_.timeline_bucket,
                                          [this] { sample_tracked(); });
+  }
+  if (metrics_period_ > 0) {
+    app_->metrics().begin_window();
+    metrics_tick_ = sim_.schedule_periodic(metrics_period_, [this] {
+      app_->publish_metrics();
+      metrics_snapshots_.push_back(app_->metrics().snapshot());
+      app_->metrics().begin_window();
+    });
   }
 }
 
@@ -167,7 +187,60 @@ ExperimentSummary Experiment::summary() const {
   s.throughput_rps =
       elapsed > 0 ? static_cast<double>(s.completed) / to_sec(elapsed) : 0.0;
   s.good_fraction = recorder_->good_fraction();
+  s.controller_overhead =
+      obs::OverheadProfiler::global().stats_since(profile_baseline_);
   return s;
+}
+
+std::size_t Experiment::export_chrome_trace(std::ostream& os,
+                                            obs::ChromeTraceOptions options) const {
+  return obs::export_chrome_trace(
+      warehouse_,
+      [this](ServiceId id) {
+        const Service* svc = app_->service(id);
+        return svc != nullptr ? svc->name()
+                              : "service-" + std::to_string(id.value());
+      },
+      os, options);
+}
+
+obs::TimeSeriesSink Experiment::timeline_sink(const std::string& name) const {
+  const std::vector<ServiceTimelinePoint>& points = timeline(name);
+  obs::TimeSeriesSink sink(name,
+                           {"util_pct", "limit_pct", "replicas",
+                            "entry_capacity", "entry_in_use", "edge_capacity",
+                            "edge_in_use"});
+  for (const ServiceTimelinePoint& p : points) {
+    const double row[] = {p.util_pct,
+                          p.limit_pct,
+                          static_cast<double>(p.replicas),
+                          static_cast<double>(p.entry_capacity),
+                          p.entry_in_use,
+                          static_cast<double>(p.edge_capacity),
+                          p.edge_in_use};
+    sink.append(p.at, row);
+  }
+  return sink;
+}
+
+void Experiment::export_timelines_jsonl(std::ostream& os) const {
+  for (const Tracked& t : tracked_) timeline_sink(t.name).write_jsonl(os);
+}
+
+void Experiment::export_timelines_csv(const std::string& name,
+                                      std::ostream& os) const {
+  timeline_sink(name).write_csv(os);
+}
+
+void Experiment::export_metrics_jsonl(std::ostream& os) {
+  if (metrics_snapshots_.empty()) {
+    app_->publish_metrics();
+    obs::MetricsRegistry::write_jsonl(app_->metrics().snapshot(), os);
+    return;
+  }
+  for (const obs::MetricsSnapshot& snap : metrics_snapshots_) {
+    obs::MetricsRegistry::write_jsonl(snap, os);
+  }
 }
 
 }  // namespace sora

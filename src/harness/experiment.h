@@ -16,6 +16,10 @@
 #include "autoscale/vpa.h"
 #include "core/sora.h"
 #include "metrics/latency_recorder.h"
+#include "obs/chrome_trace.h"
+#include "obs/decision_log.h"
+#include "obs/profiler.h"
+#include "obs/timeseries.h"
 #include "sim/simulator.h"
 #include "svc/application.h"
 #include "trace/tracer.h"
@@ -55,6 +59,10 @@ struct ExperimentSummary {
   double goodput_rps = 0.0;    ///< within SLA
   double throughput_rps = 0.0;
   double good_fraction = 0.0;
+  /// Wall-clock cost of the control-plane stages incurred during this
+  /// experiment (delta since the Experiment was constructed); substantiates
+  /// the paper's §6 overhead claim. Sim results are unaffected.
+  std::vector<obs::StageStats> controller_overhead;
 };
 
 class Experiment {
@@ -93,6 +101,38 @@ class Experiment {
   void track_service(const std::string& name, std::string edge_target = "");
   const std::vector<ServiceTimelinePoint>& timeline(
       const std::string& name) const;
+
+  // -- telemetry ----------------------------------------------------------------
+
+  /// The audit log every control plane added to this experiment records
+  /// into (one record per decision point; exportable as JSONL).
+  obs::DecisionLog& decision_log() { return decision_log_; }
+  const obs::DecisionLog& decision_log() const { return decision_log_; }
+
+  /// Publish application + simulator metrics and retain a windowed snapshot
+  /// every `period` during the run. Call before the run starts.
+  void enable_metrics_sampling(SimTime period);
+  const std::vector<obs::MetricsSnapshot>& metrics_snapshots() const {
+    return metrics_snapshots_;
+  }
+
+  /// One JSONL line per control decision, in append order.
+  void export_decision_log(std::ostream& os) const {
+    decision_log_.write_jsonl(os);
+  }
+  /// Chrome trace_event JSON of the warehouse's retained traces. Returns
+  /// the number of traces exported.
+  std::size_t export_chrome_trace(std::ostream& os,
+                                  obs::ChromeTraceOptions options = {}) const;
+  /// A tracked service's timeline as a TimeSeriesSink (CSV/JSONL export).
+  obs::TimeSeriesSink timeline_sink(const std::string& name) const;
+  /// Every tracked service's timeline, one JSONL line per bucket.
+  void export_timelines_jsonl(std::ostream& os) const;
+  /// One tracked service's timeline as CSV.
+  void export_timelines_csv(const std::string& name, std::ostream& os) const;
+  /// Collected metrics snapshots as JSONL (takes one now if sampling was
+  /// never enabled).
+  void export_metrics_jsonl(std::ostream& os);
 
   // -- run ------------------------------------------------------------------------
 
@@ -134,6 +174,14 @@ class Experiment {
   std::vector<Tracked> tracked_;
   EventHandle track_tick_;
   bool started_ = false;
+
+  obs::DecisionLog decision_log_;
+  std::vector<obs::MetricsSnapshot> metrics_snapshots_;
+  SimTime metrics_period_ = 0;
+  EventHandle metrics_tick_;
+  // Profiler state at construction; summary() reports the delta, so
+  // back-to-back experiments in one process attribute costs correctly.
+  std::vector<obs::StageStats> profile_baseline_;
 };
 
 }  // namespace sora

@@ -1,0 +1,103 @@
+// Control-decision audit log.
+//
+// One structured record per control-plane decision point answers the
+// question the raw timelines cannot: *why* did a control round do what it
+// did? Soft-resource rounds (Sora/ConScale) record the full reasoning chain
+// — localized critical service, propagated deadline, scatter statistics,
+// fitted model diagnostics, and the adapter's action with its reason.
+// Hardware rounds (FIRM/HPA/VPA) record the utilization/latency evidence
+// and the scale verdict, including explicit "hold" records so quiet rounds
+// are distinguishable from missing telemetry.
+//
+// The log is queryable in-process after a run and exportable as JSONL (one
+// record per line) for offline analysis.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sora::obs {
+
+struct ControlDecisionRecord {
+  SimTime at = 0;
+  std::string controller;  ///< "sora", "conscale", "firm", "hpa", "vpa"
+  std::uint64_t round = 0;
+
+  /// What the decision acted on: a knob label ("cart/threads") for
+  /// soft-resource rounds, a service name for hardware rounds.
+  std::string target;
+
+  // -- monitoring evidence ----------------------------------------------------
+  std::string critical_service;  ///< localization verdict ("" = none)
+  double critical_utilization = 0.0;
+  double critical_pcc = 0.0;
+  std::size_t traces_analyzed = 0;
+  double observed_p99_ms = 0.0;  ///< hardware scalers' SLO evidence
+  double observed_utilization = 0.0;
+
+  // -- deadline propagation (soft rounds) -------------------------------------
+  bool deadline_valid = false;
+  SimTime rt_threshold = 0;      ///< propagated local deadline
+  SimTime mean_upstream_pt = 0;  ///< mean upstream processing time
+
+  // -- estimation (soft rounds) -----------------------------------------------
+  bool estimate_valid = false;
+  std::size_t scatter_points = 0;  ///< raw samples fed to the model
+  int recommended = 0;
+  double knee_concurrency = 0.0;
+  double knee_value = 0.0;
+  double peak_concurrency = 0.0;
+  double peak_value = 0.0;
+  int degree_used = 0;
+  double r_squared = 0.0;
+  double good_fraction = 1.0;
+  std::string estimate_failure;  ///< non-empty when !estimate_valid
+
+  // -- verdict ------------------------------------------------------------------
+  /// "applied", "explored", "proportional", "none" (soft);
+  /// "scale_up", "scale_down", "scale_out", "scale_in", "hold" (hardware).
+  std::string action;
+  std::string reason;  ///< human-readable why
+  int old_size = 0;    ///< pool per-replica size (soft)
+  int new_size = 0;
+  double old_cores = 0.0;  ///< CPU limit (hardware vertical)
+  double new_cores = 0.0;
+  int old_replicas = 0;  ///< replica count (hardware horizontal)
+  int new_replicas = 0;
+
+  /// Render this record as one JSON object (the JSONL line body).
+  std::string to_json() const;
+};
+
+class DecisionLog {
+ public:
+  void append(ControlDecisionRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  const std::vector<ControlDecisionRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  void clear() { records_.clear(); }
+
+  /// All records from one controller, in order.
+  std::vector<const ControlDecisionRecord*> by_controller(
+      const std::string& controller) const;
+  /// Records whose action matches (e.g. every "applied").
+  std::vector<const ControlDecisionRecord*> by_action(
+      const std::string& action) const;
+  /// Count of records with the given action.
+  std::size_t count_action(const std::string& action) const;
+
+  /// One JSON object per line, in append order.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::vector<ControlDecisionRecord> records_;
+};
+
+}  // namespace sora::obs

@@ -1,0 +1,130 @@
+// Minimal JSON emission for the telemetry exporters.
+//
+// The exporters (decision-log JSONL, Chrome trace_event, metrics snapshots)
+// only ever *write* JSON, and only flat-ish records, so a tiny append-only
+// writer suffices — no external dependency, no DOM. Numbers are emitted with
+// enough precision to round-trip doubles; non-finite doubles degrade to null
+// (JSON has no NaN/Inf).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace sora::obs {
+
+/// Append `s` to `out` as a quoted, escaped JSON string literal.
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+inline void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  // Integral doubles print without a fraction (keeps JSONL diffs readable).
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(v));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out += buf;
+}
+
+/// Append-only writer for one JSON object: field(...) adds `"key":value`
+/// pairs with comma management; str() yields `{...}`.
+class JsonObject {
+ public:
+  JsonObject() : body_("{") {}
+
+  JsonObject& field(std::string_view key, std::string_view value) {
+    begin(key);
+    append_json_string(body_, value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, const char* value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObject& field(std::string_view key, const std::string& value) {
+    return field(key, std::string_view(value));
+  }
+  JsonObject& field(std::string_view key, double value) {
+    begin(key);
+    append_json_number(body_, value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, std::int64_t value) {
+    begin(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, std::uint64_t value) {
+    begin(key);
+    body_ += std::to_string(value);
+    return *this;
+  }
+  JsonObject& field(std::string_view key, int value) {
+    return field(key, static_cast<std::int64_t>(value));
+  }
+  JsonObject& field(std::string_view key, bool value) {
+    begin(key);
+    body_ += value ? "true" : "false";
+    return *this;
+  }
+  /// Splice a pre-rendered JSON value (object/array) as a field.
+  JsonObject& raw(std::string_view key, std::string_view json) {
+    begin(key);
+    body_ += json;
+    return *this;
+  }
+
+  std::string str() const { return body_ + "}"; }
+
+ private:
+  void begin(std::string_view key) {
+    if (body_.size() > 1) body_ += ',';
+    append_json_string(body_, key);
+    body_ += ':';
+  }
+
+  std::string body_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const JsonObject& obj) {
+  return os << obj.str();
+}
+
+}  // namespace sora::obs

@@ -1,0 +1,150 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "obs/json.h"
+
+namespace sora::obs {
+
+std::string labels_to_string(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i) out += ',';
+    out += labels[i].first;
+    out += '=';
+    out += labels[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void HistogramMetric::observe(double value) {
+  const double v = std::max(0.0, value);
+  sum_ += v;
+  hist_.record(static_cast<SimTime>(std::llround(v)));
+}
+
+const SeriesSnapshot* MetricsSnapshot::find(const std::string& name,
+                                            const MetricLabels& labels) const {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  for (const SeriesSnapshot& s : series) {
+    if (s.name == name && s.labels == sorted) return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::MetricsRegistry(Clock clock) : clock_(std::move(clock)) {}
+
+double MetricsRegistry::Series::scalar() const {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return counter.value();
+    case MetricKind::kGauge:
+      return gauge.value();
+    case MetricKind::kHistogram:
+      return static_cast<double>(histogram.count());
+  }
+  return 0.0;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(const std::string& name,
+                                                 MetricLabels labels,
+                                                 MetricKind kind) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = name + '|' + labels_to_string(labels);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    assert(it->second->kind == kind &&
+           "metric re-registered with a different kind");
+    return *it->second;
+  }
+  storage_.push_back(Series{name, std::move(labels), kind, {}, {}, {}, 0.0});
+  Series& s = storage_.back();
+  index_.emplace(std::move(key), &s);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  MetricLabels labels) {
+  return series(name, std::move(labels), MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
+  return series(name, std::move(labels), MetricKind::kGauge).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name,
+                                            MetricLabels labels) {
+  return series(name, std::move(labels), MetricKind::kHistogram).histogram;
+}
+
+void MetricsRegistry::begin_window() {
+  window_start_ = now();
+  for (Series& s : storage_) s.window_baseline = s.scalar();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.at = now();
+  snap.window_start = window_start_;
+  snap.series.reserve(storage_.size());
+  for (const Series& s : storage_) {
+    SeriesSnapshot out;
+    out.name = s.name;
+    out.labels = s.labels;
+    out.kind = s.kind;
+    out.value = s.scalar();
+    out.window_delta = out.value - s.window_baseline;
+    if (s.kind == MetricKind::kHistogram && s.histogram.count() > 0) {
+      out.count = s.histogram.count();
+      out.mean = s.histogram.mean();
+      out.p50 = s.histogram.percentile(50.0);
+      out.p99 = s.histogram.percentile(99.0);
+      out.max = s.histogram.max();
+    }
+    snap.series.push_back(std::move(out));
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_jsonl(const MetricsSnapshot& snap,
+                                  std::ostream& os) {
+  for (const SeriesSnapshot& s : snap.series) {
+    JsonObject obj;
+    obj.field("at_us", snap.at)
+        .field("name", s.name)
+        .field("kind", to_string(s.kind));
+    if (!s.labels.empty()) {
+      JsonObject labels;
+      for (const auto& [k, v] : s.labels) labels.field(k, v);
+      obj.raw("labels", labels.str());
+    }
+    obj.field("value", s.value).field("window_delta", s.window_delta);
+    if (s.kind == MetricKind::kHistogram) {
+      obj.field("count", s.count)
+          .field("mean", s.mean)
+          .field("p50", s.p50)
+          .field("p99", s.p99)
+          .field("max", s.max);
+    }
+    os << obj << '\n';
+  }
+}
+
+}  // namespace sora::obs

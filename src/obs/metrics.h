@@ -1,0 +1,176 @@
+// Sim-time-aware metrics registry.
+//
+// The unified instrument panel for the whole stack: services publish pool
+// and CPU state, the simulator publishes event-loop stats, and the control
+// planes (Sora/ConScale, the autoscalers) publish decision counters. A
+// series is (name, labels) -> instrument; handles returned by the registry
+// are stable for the registry's lifetime, so hot paths pay one lookup at
+// wiring time and a plain add/set afterwards.
+//
+// Three instrument kinds, Prometheus-style:
+//   Counter   — monotonically non-decreasing total (events, resizes, waits)
+//   Gauge     — instantaneous value (queue depth, pool size, knee position)
+//   Histogram — value distribution with percentile queries (RPC latency)
+//
+// Windowed snapshots: begin_window() marks a baseline; snapshot() reports,
+// per series, the current value plus the delta since the baseline — which is
+// how per-control-round rates are derived from cumulative totals without
+// resetting anything (observers never disturb each other).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/time.h"
+
+namespace sora::obs {
+
+/// Sorted key=value pairs identifying one series of a metric family.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Render labels as `{k1=v1,k2=v2}` (empty string for no labels).
+std::string labels_to_string(const MetricLabels& labels);
+
+class Counter {
+ public:
+  /// Increment by `delta` (must be >= 0; counters never decrease).
+  void add(double delta = 1.0) {
+    if (delta > 0.0) value_ += delta;
+  }
+  /// Adopt an externally-accumulated monotonic total (e.g. a pool's
+  /// total_waits). Regressions are ignored rather than applied: the total
+  /// may come from a source that was reset (a cleared sampler), and a
+  /// counter going backwards would corrupt every window delta downstream.
+  void set_total(double total) {
+    if (total > value_) value_ = total;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Distribution instrument over non-negative values (negative observations
+/// are clamped to 0). Unit is the caller's choice; the convention in this
+/// repo is microseconds for durations.
+class HistogramMetric {
+ public:
+  void observe(double value);
+
+  std::uint64_t count() const { return hist_.count(); }
+  double sum() const { return sum_; }
+  double mean() const { return count() ? sum_ / static_cast<double>(count()) : 0.0; }
+  double min() const { return static_cast<double>(hist_.min()); }
+  double max() const { return static_cast<double>(hist_.max()); }
+  /// p in [0, 100]; bucket-midpoint representative value.
+  double percentile(double p) const { return static_cast<double>(hist_.percentile(p)); }
+
+ private:
+  LatencyHistogram hist_;
+  double sum_ = 0.0;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* to_string(MetricKind kind);
+
+/// One series' state at snapshot time.
+struct SeriesSnapshot {
+  std::string name;
+  MetricLabels labels;
+  MetricKind kind = MetricKind::kGauge;
+  double value = 0.0;         ///< counter total / gauge value / histogram count
+  double window_delta = 0.0;  ///< value - value at begin_window()
+  // Histogram-only summary (zeros otherwise).
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+struct MetricsSnapshot {
+  SimTime at = 0;
+  SimTime window_start = 0;
+  std::vector<SeriesSnapshot> series;
+
+  double window_sec() const { return to_sec(at - window_start); }
+  /// Lookup by exact (name, labels); nullptr when absent.
+  const SeriesSnapshot* find(const std::string& name,
+                             const MetricLabels& labels = {}) const;
+};
+
+class MetricsRegistry {
+ public:
+  using Clock = std::function<SimTime()>;
+
+  /// `clock` stamps snapshots with the current sim time; without one,
+  /// snapshots are stamped 0 (wall time is deliberately not used — telemetry
+  /// must be deterministic).
+  explicit MetricsRegistry(Clock clock = nullptr);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get or create a series. References remain valid for the registry's
+  /// lifetime. Labels are sorted internally, so label order never creates
+  /// duplicate series.
+  Counter& counter(const std::string& name, MetricLabels labels = {});
+  Gauge& gauge(const std::string& name, MetricLabels labels = {});
+  HistogramMetric& histogram(const std::string& name, MetricLabels labels = {});
+
+  /// Mark the start of a measurement window: subsequent snapshots report
+  /// deltas relative to this instant. Series created after begin_window()
+  /// have a baseline of 0.
+  void begin_window();
+
+  /// Current state of every series, stamped with the clock.
+  MetricsSnapshot snapshot() const;
+
+  /// One JSONL line per series of `snap` (schema: at_us, name, labels,
+  /// kind, value, window_delta, and the histogram summary when relevant).
+  static void write_jsonl(const MetricsSnapshot& snap, std::ostream& os);
+
+  std::size_t size() const { return index_.size(); }
+  SimTime now() const { return clock_ ? clock_() : 0; }
+
+ private:
+  struct Series {
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind;
+    Counter counter;
+    Gauge gauge;
+    HistogramMetric histogram;
+    double window_baseline = 0.0;
+
+    double scalar() const;
+  };
+
+  Series& series(const std::string& name, MetricLabels labels,
+                 MetricKind kind);
+
+  Clock clock_;
+  SimTime window_start_ = 0;
+  std::deque<Series> storage_;  // deque: stable references on growth
+  std::map<std::string, Series*> index_;  // "name|{labels}" -> series
+};
+
+}  // namespace sora::obs

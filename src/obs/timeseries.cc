@@ -1,0 +1,47 @@
+#include "obs/timeseries.h"
+
+#include <cassert>
+
+#include "obs/json.h"
+
+namespace sora::obs {
+
+TimeSeriesSink::TimeSeriesSink(std::string series_name,
+                               std::vector<std::string> columns)
+    : name_(std::move(series_name)), columns_(std::move(columns)) {
+  assert(!columns_.empty());
+}
+
+void TimeSeriesSink::append(SimTime at, std::span<const double> values) {
+  assert(values.size() == columns_.size() && "row arity != schema");
+  at_.push_back(at);
+  values_.insert(values_.end(), values.begin(), values.end());
+}
+
+void TimeSeriesSink::write_csv(std::ostream& os) const {
+  os << "at_us";
+  for (const std::string& c : columns_) os << ',' << c;
+  os << '\n';
+  for (std::size_t row = 0; row < at_.size(); ++row) {
+    os << at_[row];
+    for (std::size_t col = 0; col < columns_.size(); ++col) {
+      std::string cell;
+      append_json_number(cell, value(row, col));
+      os << ',' << cell;
+    }
+    os << '\n';
+  }
+}
+
+void TimeSeriesSink::write_jsonl(std::ostream& os) const {
+  for (std::size_t row = 0; row < at_.size(); ++row) {
+    JsonObject obj;
+    obj.field("series", name_).field("at_us", at_[row]);
+    for (std::size_t col = 0; col < columns_.size(); ++col) {
+      obj.field(columns_[col], value(row, col));
+    }
+    os << obj << '\n';
+  }
+}
+
+}  // namespace sora::obs

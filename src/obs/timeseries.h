@@ -1,0 +1,48 @@
+// Generic time-series sink: timestamped rows of named numeric columns,
+// exportable as CSV or JSONL.
+//
+// Unifies the per-run timeline plumbing that used to be ad-hoc per consumer
+// (Experiment's ServiceTimelinePoint vectors, the benches' hand-rolled
+// printing): producers append rows against a fixed schema, consumers pick
+// the format. Append is O(columns); nothing is formatted until export.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sora::obs {
+
+class TimeSeriesSink {
+ public:
+  /// `columns` fixes the schema; every appended row must match its arity.
+  explicit TimeSeriesSink(std::string series_name,
+                          std::vector<std::string> columns);
+
+  void append(SimTime at, std::span<const double> values);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t num_rows() const { return at_.size(); }
+  SimTime row_time(std::size_t i) const { return at_[i]; }
+  double value(std::size_t row, std::size_t col) const {
+    return values_[row * columns_.size() + col];
+  }
+
+  /// Header `at_us,<col>,...` then one row per append.
+  void write_csv(std::ostream& os) const;
+  /// One object per row: {"series":name,"at_us":t,"<col>":v,...}.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<SimTime> at_;
+  std::vector<double> values_;  // row-major, num_rows x columns
+};
+
+}  // namespace sora::obs

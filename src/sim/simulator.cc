@@ -3,7 +3,25 @@
 #include <cassert>
 #include <utility>
 
+#include "common/log.h"
+#include "obs/metrics.h"
+
 namespace sora {
+
+Simulator::Simulator() {
+  set_log_clock(this, [](const void* ctx) {
+    return static_cast<const Simulator*>(ctx)->now();
+  });
+}
+
+Simulator::~Simulator() { clear_log_clock(this); }
+
+void Simulator::publish_metrics(obs::MetricsRegistry& metrics) const {
+  metrics.counter("sim.events_executed").set_total(
+      static_cast<double>(events_executed_));
+  metrics.gauge("sim.events_pending").set(static_cast<double>(queue_.size()));
+  metrics.gauge("sim.now_us").set(static_cast<double>(now_));
+}
 
 EventHandle Simulator::schedule_at(SimTime at, Callback cb) {
   assert(at >= now_ && "cannot schedule in the past");
@@ -19,16 +37,21 @@ EventHandle Simulator::schedule_periodic(SimTime period, Callback cb) {
   // marks those fired via their own per-event flag, so the chain flag stays
   // under our control).
   auto stop = std::make_shared<bool>(false);
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, period, cb = std::move(cb), stop, tick]() {
-    if (*stop) return;
-    cb();
-    if (!*stop) {
-      schedule_at(now_ + period, *tick);
-    }
-  };
-  schedule_at(now_ + period, *tick);
+  schedule_tick(period, std::make_shared<Callback>(std::move(cb)), stop);
   return EventHandle(std::move(stop));
+}
+
+void Simulator::schedule_tick(SimTime period, std::shared_ptr<Callback> cb,
+                              std::shared_ptr<bool> stop) {
+  // Each firing schedules the next one; only the pending event holds the
+  // callback and the stop flag, so cancelling (or draining the queue) frees
+  // the chain — no self-referential closure.
+  schedule_at(now_ + period,
+              [this, period, cb = std::move(cb), stop = std::move(stop)]() {
+                if (*stop) return;
+                (*cb)();
+                if (!*stop) schedule_tick(period, cb, stop);
+              });
 }
 
 void Simulator::execute(Event& ev) {

@@ -18,6 +18,10 @@
 
 namespace sora {
 
+namespace obs {
+class MetricsRegistry;
+}
+
 /// Handle to a scheduled event, usable to cancel it before it fires.
 class EventHandle {
  public:
@@ -41,7 +45,10 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  /// Registers this simulator as the process log clock so SORA_LOG lines
+  /// carry the current sim time (see common/log.h).
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -75,6 +82,11 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Publish event-loop state (events executed, queue depth, sim clock)
+  /// into a metrics registry. Called by periodic samplers; the hot event
+  /// loop itself stays untouched.
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
+
  private:
   struct Event {
     SimTime at;
@@ -89,6 +101,8 @@ class Simulator {
   };
 
   void execute(Event& ev);
+  void schedule_tick(SimTime period, std::shared_ptr<Callback> cb,
+                     std::shared_ptr<bool> stop);
 
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   SimTime now_ = 0;

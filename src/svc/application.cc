@@ -9,7 +9,11 @@ namespace sora {
 
 Application::Application(Simulator& sim, Tracer& tracer,
                          ApplicationConfig config, std::uint64_t seed)
-    : sim_(sim), tracer_(tracer), config_(std::move(config)), rng_(seed) {
+    : sim_(sim),
+      tracer_(tracer),
+      config_(std::move(config)),
+      rng_(seed),
+      metrics_([&sim] { return sim.now(); }) {
   assert(!config_.services.empty());
   services_.reserve(config_.services.size());
   for (std::size_t i = 0; i < config_.services.size(); ++i) {
@@ -30,6 +34,20 @@ Application::Application(Simulator& sim, Tracer& tracer,
   }
 
   for (auto& svc : services_) svc->compile_and_start();
+
+  // Per-span RPC latency, recorded as spans complete. Handles are resolved
+  // once here so the span listener is a vector index + histogram record.
+  span_latency_.reserve(services_.size());
+  for (const auto& svc : services_) {
+    span_latency_.push_back(
+        &metrics_.histogram("rpc.latency_us", {{"service", svc->name()}}));
+  }
+  tracer_.add_span_listener([this](const Span& span) {
+    if (span.service.valid() && span.service.value() < span_latency_.size()) {
+      span_latency_[span.service.value()]->observe(
+          static_cast<double>(span.duration()));
+    }
+  });
 }
 
 Application::~Application() = default;
@@ -74,6 +92,14 @@ void Application::inject(int request_class,
                    ++completed_;
                    cb(sim_.now() - start);
                  });
+}
+
+void Application::publish_metrics() {
+  sim_.publish_metrics(metrics_);
+  for (auto& svc : services_) svc->publish_metrics(metrics_);
+  metrics_.gauge("app.in_flight").set(static_cast<double>(in_flight()));
+  metrics_.counter("app.injected").set_total(static_cast<double>(injected_));
+  metrics_.counter("app.completed").set_total(static_cast<double>(completed_));
 }
 
 void Application::deliver(std::function<void()> fn) {

@@ -14,6 +14,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "svc/config.h"
 #include "svc/service.h"
 #include "workload/load_target.h"
@@ -55,6 +56,17 @@ class Application : public LoadTarget {
   Tracer& tracer() { return tracer_; }
   const ApplicationConfig& config() const { return config_; }
 
+  /// Application-wide metrics registry (sim-time stamped). Per-span RPC
+  /// latency histograms are recorded automatically; call publish_metrics()
+  /// (typically from a periodic sampler) to refresh the service/pool/sim
+  /// gauges.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Publish current event-loop and per-service state (replicas, CPU, pool
+  /// capacity/in-use/waits) into the registry.
+  void publish_metrics();
+
   IdGenerator<InstanceId>& instance_ids() { return instance_ids_; }
   Rng& rng() { return rng_; }
 
@@ -75,6 +87,9 @@ class Application : public LoadTarget {
   ApplicationConfig config_;
   Rng rng_;
   IdGenerator<InstanceId> instance_ids_;
+  obs::MetricsRegistry metrics_;
+  // per-service RPC latency histograms, indexed by ServiceId value
+  std::vector<obs::HistogramMetric*> span_latency_;
 
   std::vector<std::unique_ptr<Service>> services_;  // index == ServiceId value
   std::map<std::string, Service*> by_name_;

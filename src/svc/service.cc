@@ -132,6 +132,9 @@ void Service::resize_entry_pool(int per_replica) {
   entry_pool_size_ = per_replica;
   const int effective = per_replica <= 0 ? 1'000'000'000 : per_replica;
   for (auto& inst : instances_) inst->entry_pool().resize(effective);
+  app_.metrics()
+      .counter("pool.resizes", {{"service", name()}, {"pool", "entry"}})
+      .add();
 }
 
 void Service::resize_edge_pool(const std::string& target, int per_replica) {
@@ -143,6 +146,9 @@ void Service::resize_edge_pool(const std::string& target, int per_replica) {
       pool->resize(std::max(1, per_replica));
     }
   }
+  app_.metrics()
+      .counter("pool.resizes", {{"service", name()}, {"pool", "->" + target}})
+      .add();
 }
 
 int Service::edge_pool_size(const std::string& target) const {
@@ -225,6 +231,52 @@ double Service::cpu_capacity() const {
     if (inst->active()) total += inst->cpu().cores();
   }
   return total;
+}
+
+void Service::publish_metrics(obs::MetricsRegistry& metrics) const {
+  const obs::MetricLabels svc_label{{"service", name()}};
+  metrics.gauge("service.replicas", svc_label)
+      .set(static_cast<double>(active_count_));
+  metrics.gauge("service.cpu_limit_cores", svc_label).set(cpu_limit_);
+  metrics.counter("service.cpu_busy_core_us", svc_label)
+      .set_total(cpu_busy_integral());
+  metrics.counter("service.completions", svc_label)
+      .set_total(static_cast<double>(completions_));
+
+  // Aggregate a pool family (entry or one edge) across replicas: gauges
+  // over active replicas, monotonic wait totals over all replicas.
+  auto publish_pool = [&](const std::string& pool_name,
+                          auto&& pool_of /* instance -> pool* */) {
+    int capacity = 0, in_use = 0;
+    std::size_t waiting = 0;
+    double waits = 0.0, wait_us = 0.0;
+    for (const auto& inst : instances_) {
+      const SoftResourcePool* pool = pool_of(*inst);
+      if (pool == nullptr) continue;
+      waits += static_cast<double>(pool->total_waits());
+      wait_us += static_cast<double>(pool->total_wait_time());
+      if (!inst->active()) continue;
+      capacity += pool->capacity();
+      in_use += pool->in_use();
+      waiting += pool->waiting();
+    }
+    const obs::MetricLabels labels{{"service", name()}, {"pool", pool_name}};
+    metrics.gauge("pool.capacity", labels).set(capacity);
+    metrics.gauge("pool.in_use", labels).set(in_use);
+    metrics.gauge("pool.queue_depth", labels)
+        .set(static_cast<double>(waiting));
+    metrics.counter("pool.waits", labels).set_total(waits);
+    metrics.counter("pool.wait_time_us", labels).set_total(wait_us);
+  };
+
+  publish_pool("entry", [](const ServiceInstance& inst) {
+    return &inst.entry_pool();
+  });
+  for (const auto& [target, idx] : edge_index_) {
+    publish_pool("->" + target, [idx = idx](const ServiceInstance& inst) {
+      return inst.edge_pool(idx);
+    });
+  }
 }
 
 }  // namespace sora

@@ -15,6 +15,7 @@
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "svc/config.h"
 #include "svc/instance.h"
 #include "svc/load_balancer.h"
@@ -126,6 +127,12 @@ class Service {
   /// Index of the edge pool for `target` in each instance's pool vector;
   /// -1 if that target has no gate configured.
   int edge_index_of(const std::string& target) const;
+
+  /// Publish this service's current state into a metrics registry: scaling
+  /// gauges (replicas, CPU limit), CPU busy total, and per-pool capacity /
+  /// in-use / queue depth / wait totals for the entry pool and every edge
+  /// pool. Labels: {service=<name>} plus {pool=entry|-><target>}.
+  void publish_metrics(obs::MetricsRegistry& metrics) const;
 
  private:
   friend class ServiceInstance;

@@ -100,7 +100,7 @@ TEST(SockShop, ConservationUnderLoad) {
   Fixture f(sock_shop::make_sock_shop(), 7);
   int completed = 0;
   for (int i = 0; i < 300; ++i) {
-    f.sim.schedule_at(i * msec(5), [&] {
+    f.sim.schedule_at(i * msec(5), [&, i] {
       f.app.inject(i % 3, [&](SimTime) { ++completed; });
     });
   }

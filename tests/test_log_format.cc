@@ -1,0 +1,85 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/simulator.h"
+
+namespace sora {
+namespace {
+
+/// Captures std::cerr for one test body and restores level/clock state.
+class LogCapture {
+ public:
+  LogCapture() : old_level_(log_level()), old_buf_(std::cerr.rdbuf(os_.rdbuf())) {
+    set_log_level(LogLevel::kInfo);
+  }
+  ~LogCapture() {
+    std::cerr.rdbuf(old_buf_);
+    set_log_level(old_level_);
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+  LogLevel old_level_;
+  std::streambuf* old_buf_;
+};
+
+TEST(LogFormat, LinesCarryLevelTag) {
+  LogCapture cap;
+  SORA_INFO << "hello";
+  SORA_WARN << "danger";
+  EXPECT_NE(cap.str().find("[INFO] hello\n"), std::string::npos);
+  EXPECT_NE(cap.str().find("[WARN] danger\n"), std::string::npos);
+}
+
+TEST(LogFormat, BelowThresholdIsDiscarded) {
+  LogCapture cap;
+  SORA_DEBUG << "invisible";
+  EXPECT_EQ(cap.str(), "");
+}
+
+TEST(LogFormat, InstalledClockAddsSimTime) {
+  LogCapture cap;
+  static SimTime fake_now = msec(1500);
+  int ctx = 0;
+  set_log_clock(&ctx, [](const void*) { return fake_now; });
+  SORA_INFO << "stamped";
+  clear_log_clock(&ctx);
+  EXPECT_NE(cap.str().find("[INFO 1.500s] stamped\n"), std::string::npos);
+
+  SORA_INFO << "bare";
+  EXPECT_NE(cap.str().find("[INFO] bare\n"), std::string::npos);
+}
+
+TEST(LogFormat, SimulatorInstallsItsClockWhileAlive) {
+  LogCapture cap;
+  {
+    Simulator sim;
+    sim.schedule_at(sec(15), [] { SORA_INFO << "from the future"; });
+    sim.run_until(sec(20));
+  }
+  EXPECT_NE(cap.str().find("[INFO 15.000s] from the future\n"),
+            std::string::npos);
+
+  // The destroyed simulator's clock is gone again.
+  SORA_INFO << "after";
+  EXPECT_NE(cap.str().find("[INFO] after\n"), std::string::npos);
+}
+
+TEST(LogFormat, ClearingAStaleOwnerKeepsTheCurrentClock) {
+  LogCapture cap;
+  int a = 0, b = 0;
+  set_log_clock(&a, [](const void*) { return sec(1); });
+  set_log_clock(&b, [](const void*) { return sec(2); });
+  clear_log_clock(&a);  // a is stale; must not tear down b's clock
+  SORA_INFO << "still stamped";
+  clear_log_clock(&b);
+  EXPECT_NE(cap.str().find("[INFO 2.000s] still stamped\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,146 @@
+#include "obs/decision_log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sora::obs {
+namespace {
+
+ControlDecisionRecord soft_record() {
+  ControlDecisionRecord r;
+  r.at = sec(15);
+  r.controller = "sora";
+  r.round = 1;
+  r.target = "cart/threads";
+  r.critical_service = "cart";
+  r.critical_utilization = 0.93;
+  r.critical_pcc = 0.87;
+  r.traces_analyzed = 420;
+  r.deadline_valid = true;
+  r.rt_threshold = msec(180);
+  r.mean_upstream_pt = msec(220);
+  r.estimate_valid = true;
+  r.scatter_points = 600;
+  r.recommended = 12;
+  r.knee_concurrency = 9.6;
+  r.knee_value = 410.0;
+  r.degree_used = 3;
+  r.r_squared = 0.97;
+  r.action = "applied";
+  r.reason = "estimate applied";
+  r.old_size = 5;
+  r.new_size = 12;
+  return r;
+}
+
+ControlDecisionRecord hardware_record() {
+  ControlDecisionRecord r;
+  r.at = sec(30);
+  r.controller = "firm";
+  r.round = 2;
+  r.target = "cart";
+  r.observed_p99_ms = 612.0;
+  r.observed_utilization = 0.95;
+  r.action = "scale_up";
+  r.reason = "SLO violation or utilization above high watermark";
+  r.old_cores = 2.0;
+  r.new_cores = 2.5;
+  r.old_replicas = r.new_replicas = 1;
+  return r;
+}
+
+TEST(DecisionLog, QueriesByControllerAndAction) {
+  DecisionLog log;
+  log.append(soft_record());
+  log.append(hardware_record());
+  ControlDecisionRecord hold = hardware_record();
+  hold.action = "hold";
+  hold.reason = "latency and utilization within bounds";
+  log.append(hold);
+
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.by_controller("sora").size(), 1u);
+  EXPECT_EQ(log.by_controller("firm").size(), 2u);
+  EXPECT_EQ(log.by_controller("hpa").size(), 0u);
+  EXPECT_EQ(log.count_action("applied"), 1u);
+  EXPECT_EQ(log.count_action("hold"), 1u);
+  ASSERT_EQ(log.by_action("scale_up").size(), 1u);
+  EXPECT_EQ(log.by_action("scale_up")[0]->target, "cart");
+}
+
+TEST(DecisionLog, SoftRecordJsonCarriesReasoningChain) {
+  const std::string json = soft_record().to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"controller\":\"sora\""), std::string::npos);
+  EXPECT_NE(json.find("\"target\":\"cart/threads\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_service\":\"cart\""), std::string::npos);
+  EXPECT_NE(json.find("\"rt_threshold_ms\":180"), std::string::npos);
+  EXPECT_NE(json.find("\"knee_concurrency\":9.6"), std::string::npos);
+  EXPECT_NE(json.find("\"action\":\"applied\""), std::string::npos);
+  EXPECT_NE(json.find("\"old_size\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"new_size\":12"), std::string::npos);
+  // Hardware-only fields are absent from a soft record.
+  EXPECT_EQ(json.find("old_cores"), std::string::npos);
+  EXPECT_EQ(json.find("observed_p99_ms"), std::string::npos);
+}
+
+TEST(DecisionLog, InvalidEstimateEmitsFailureInsteadOfModelFields) {
+  ControlDecisionRecord r = soft_record();
+  r.estimate_valid = false;
+  r.estimate_failure = "insufficient samples";
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"estimate_valid\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"estimate_failure\":\"insufficient samples\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("knee_concurrency"), std::string::npos);
+  EXPECT_EQ(json.find("r_squared"), std::string::npos);
+}
+
+TEST(DecisionLog, HardwareRecordJsonCarriesSloEvidence) {
+  const std::string json = hardware_record().to_json();
+  EXPECT_NE(json.find("\"observed_p99_ms\":612"), std::string::npos);
+  EXPECT_NE(json.find("\"observed_utilization\":0.95"), std::string::npos);
+  EXPECT_NE(json.find("\"old_cores\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"new_cores\":2.5"), std::string::npos);
+  // Soft-only fields stay out of hardware records.
+  EXPECT_EQ(json.find("scatter_points\":0,\"recommended"), std::string::npos);
+  EXPECT_EQ(json.find("old_size"), std::string::npos);
+}
+
+TEST(DecisionLog, WriteJsonlIsOneRecordPerLineInOrder) {
+  DecisionLog log;
+  log.append(soft_record());
+  log.append(hardware_record());
+
+  std::ostringstream os;
+  log.write_jsonl(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find(lines == 0 ? "\"controller\":\"sora\""
+                                   : "\"controller\":\"firm\""),
+              std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST(DecisionLog, JsonEscapesSpecialCharacters) {
+  ControlDecisionRecord r;
+  r.controller = "sora";
+  r.target = "cart/\"quoted\"\npool";
+  r.action = "none";
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // stays one line
+}
+
+}  // namespace
+}  // namespace sora::obs

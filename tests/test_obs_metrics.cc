@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sora::obs {
+namespace {
+
+TEST(MetricsRegistry, CounterAccumulatesAndNeverDecreases) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("requests");
+  c.add();
+  c.add(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  c.add(-10.0);  // negative deltas are ignored
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(MetricsRegistry, SetTotalAdoptsMonotonicSourceAndIgnoresRegressions) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("pool.waits");
+  c.set_total(40.0);
+  EXPECT_DOUBLE_EQ(c.value(), 40.0);
+  c.set_total(55.0);
+  EXPECT_DOUBLE_EQ(c.value(), 55.0);
+  c.set_total(10.0);  // source reset: must not go backwards
+  EXPECT_DOUBLE_EQ(c.value(), 55.0);
+}
+
+TEST(MetricsRegistry, GaugeSetsAndAdds) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("queue_depth");
+  g.set(7.0);
+  g.add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(MetricsRegistry, HistogramSummaries) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("latency_us");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i) * 100.0);
+  h.observe(-5.0);  // clamped to 0, still counted
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_GT(h.mean(), 0.0);
+  EXPECT_LE(h.percentile(50.0), h.percentile(99.0));
+  EXPECT_GE(h.max(), 10000.0);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndSharedPerSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x", {{"svc", "cart"}});
+  // Force storage growth, then re-lookup.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler" + std::to_string(i));
+  }
+  Counter& b = reg.counter("x", {{"svc", "cart"}});
+  EXPECT_EQ(&a, &b);
+  a.add(1.0);
+  EXPECT_DOUBLE_EQ(b.value(), 1.0);
+}
+
+TEST(MetricsRegistry, LabelOrderDoesNotCreateDuplicateSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.counter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsRegistry, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x", {{"svc", "cart"}});
+  Counter& b = reg.counter("x", {{"svc", "catalogue"}});
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, WindowDeltasAreNonDestructive) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("events");
+  c.add(10.0);
+  reg.begin_window();
+  c.add(5.0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  const SeriesSnapshot* s = snap.find("events");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 15.0);         // total is untouched
+  EXPECT_DOUBLE_EQ(s->window_delta, 5.0);   // delta since the window began
+
+  // Series created after begin_window() have a zero baseline.
+  reg.counter("late").add(3.0);
+  const MetricsSnapshot snap2 = reg.snapshot();
+  const SeriesSnapshot* late = snap2.find("late");
+  ASSERT_NE(late, nullptr);
+  EXPECT_DOUBLE_EQ(late->window_delta, 3.0);
+}
+
+TEST(MetricsRegistry, SnapshotStampedBySimClock) {
+  SimTime now = sec(42);
+  MetricsRegistry reg([&now] { return now; });
+  reg.begin_window();
+  now = sec(57);
+  reg.gauge("g").set(1.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.at, sec(57));
+  EXPECT_EQ(snap.window_start, sec(42));
+  EXPECT_DOUBLE_EQ(snap.window_sec(), 15.0);
+}
+
+TEST(MetricsRegistry, FindRequiresExactLabels) {
+  MetricsRegistry reg;
+  reg.gauge("g", {{"svc", "cart"}}).set(1.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_NE(snap.find("g", {{"svc", "cart"}}), nullptr);
+  EXPECT_EQ(snap.find("g"), nullptr);
+  EXPECT_EQ(snap.find("g", {{"svc", "other"}}), nullptr);
+}
+
+TEST(MetricsRegistry, WriteJsonlEmitsOneObjectPerSeries) {
+  MetricsRegistry reg;
+  reg.counter("c", {{"svc", "cart"}}).add(2.0);
+  reg.gauge("g").set(-1.5);
+  reg.histogram("h").observe(100.0);
+
+  std::ostringstream os;
+  MetricsRegistry::write_jsonl(reg.snapshot(), os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) {
+    ++lines;
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"name\":"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace sora::obs

@@ -1,0 +1,104 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sora::obs {
+namespace {
+
+TEST(OverheadProfiler, RecordAccumulatesPerStage) {
+  OverheadProfiler p;
+  p.record("scg.polyfit", 100.0);
+  p.record("scg.polyfit", 300.0);
+  p.record("scg.kneedle", 50.0);
+
+  const auto stats = p.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  // Sorted by stage name.
+  EXPECT_EQ(stats[0].stage, "scg.kneedle");
+  EXPECT_EQ(stats[1].stage, "scg.polyfit");
+  EXPECT_EQ(stats[1].calls, 2u);
+  EXPECT_DOUBLE_EQ(stats[1].total_us, 400.0);
+  EXPECT_DOUBLE_EQ(stats[1].max_us, 300.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean_us(), 200.0);
+}
+
+TEST(OverheadProfiler, StatsSinceReportsOnlyTheDelta) {
+  OverheadProfiler p;
+  p.record("a", 100.0);
+  p.record("b", 10.0);
+  const auto baseline = p.stats();
+
+  p.record("a", 50.0);
+  p.record("c", 5.0);
+  const auto delta = p.stats_since(baseline);
+
+  // "b" did not move, so it drops out; "a" shows only the new work.
+  ASSERT_EQ(delta.size(), 2u);
+  EXPECT_EQ(delta[0].stage, "a");
+  EXPECT_EQ(delta[0].calls, 1u);
+  EXPECT_DOUBLE_EQ(delta[0].total_us, 50.0);
+  EXPECT_EQ(delta[1].stage, "c");
+  EXPECT_DOUBLE_EQ(delta[1].total_us, 5.0);
+}
+
+TEST(OverheadProfiler, TotalUsSumsByPrefix) {
+  OverheadProfiler p;
+  p.record("scg.polyfit", 100.0);
+  p.record("scg.kneedle", 50.0);
+  p.record("sora.localization", 30.0);
+  const auto stats = p.stats();
+  EXPECT_DOUBLE_EQ(OverheadProfiler::total_us(stats, "scg."), 150.0);
+  EXPECT_DOUBLE_EQ(OverheadProfiler::total_us(stats), 180.0);
+}
+
+TEST(OverheadProfiler, ScopeRecordsElapsedWallTime) {
+  OverheadProfiler p;
+  {
+    OverheadProfiler::Scope scope(p, "stage");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 10000; ++i) sink = sink + static_cast<double>(i);
+  }
+  const auto stats = p.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].calls, 1u);
+  EXPECT_GE(stats[0].total_us, 0.0);
+}
+
+TEST(OverheadProfiler, GlobalMacroFeedsTheGlobalProfiler) {
+  OverheadProfiler::global().reset();
+  {
+    SORA_PROFILE_STAGE("test.macro_stage");
+  }
+  const auto stats = OverheadProfiler::global().stats();
+  bool found = false;
+  for (const auto& s : stats) {
+    if (s.stage == "test.macro_stage") {
+      found = true;
+      EXPECT_EQ(s.calls, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+  OverheadProfiler::global().reset();
+}
+
+TEST(OverheadProfiler, ResetClears) {
+  OverheadProfiler p;
+  p.record("a", 1.0);
+  p.reset();
+  EXPECT_TRUE(p.stats().empty());
+}
+
+TEST(OverheadProfiler, PrintRendersEveryStage) {
+  OverheadProfiler p;
+  p.record("scg.polyfit", 123.0);
+  p.record("sora.control_round", 456.0);
+  std::ostringstream os;
+  OverheadProfiler::print(p.stats(), os);
+  EXPECT_NE(os.str().find("scg.polyfit"), std::string::npos);
+  EXPECT_NE(os.str().find("sora.control_round"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sora::obs

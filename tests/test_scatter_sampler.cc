@@ -18,10 +18,12 @@ struct Fixture {
       : app(sim, tracer, std::move(cfg), 1) {}
 
   void drive(int per_second, SimTime duration) {
-    // Deterministic arrivals.
+    // Deterministic arrivals, starting from the current sim time so a
+    // second drive() after run_until() does not schedule in the past.
     const SimTime gap = sec(1) / per_second;
+    const SimTime base = sim.now();
     for (SimTime t = 0; t < duration; t += gap) {
-      sim.schedule_at(t, [this] { app.inject(0, [](SimTime) {}); });
+      sim.schedule_at(base + t, [this] { app.inject(0, [](SimTime) {}); });
     }
   }
 };
