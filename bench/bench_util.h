@@ -5,6 +5,7 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -134,7 +135,9 @@ struct CartTraceConfig {
   /// When non-empty, the run's telemetry is exported into this directory
   /// (created if needed): <tag>_decisions.jsonl (control-decision audit
   /// log), <tag>_trace.json (Chrome trace_event, load into
-  /// ui.perfetto.dev), <tag>_cart_timeline.csv, <tag>_metrics.jsonl.
+  /// ui.perfetto.dev), <tag>_cart_timeline.csv, <tag>_metrics.jsonl, plus
+  /// the streaming SLO analytics artifacts <tag>_slo_report.{txt,html},
+  /// <tag>_attribution.csv and <tag>_burn.csv.
   std::string telemetry_dir;
   std::string telemetry_tag = "run";
 };
@@ -143,7 +146,33 @@ struct CartTraceResult {
   ExperimentSummary summary;
   std::vector<ServiceTimelinePoint> cart;        ///< per-second cart state
   std::vector<TimelineBucket> client;            ///< per-second client view
+  /// End-to-end SLO violation episodes (empty when telemetry was disabled).
+  std::vector<obs::ViolationEpisode> episodes;
+  /// Service with the largest attributed budget consumption during the
+  /// longest episode ("" when no episode was detected).
+  std::string top_episode_consumer;
+  /// Most frequent non-empty localization verdict in the decision log
+  /// ("" when no control plane localized anything).
+  std::string localized_critical_service;
 };
+
+/// Most frequent non-empty `critical_service` among a run's decisions — the
+/// consensus localization verdict of the control plane.
+inline std::string localization_mode(const obs::DecisionLog& log) {
+  std::map<std::string, int> votes;
+  for (const auto& rec : log.records()) {
+    if (!rec.critical_service.empty()) ++votes[rec.critical_service];
+  }
+  std::string best;
+  int best_n = 0;
+  for (const auto& [name, n] : votes) {
+    if (n > best_n) {
+      best = name;
+      best_n = n;
+    }
+  }
+  return best;
+}
 
 inline CartTraceResult run_cart_trace(const CartTraceConfig& cfg) {
   sock_shop::Params params;
@@ -204,7 +233,14 @@ inline CartTraceResult run_cart_trace(const CartTraceConfig& cfg) {
   }
 
   exp.track_service("cart");
-  if (!cfg.telemetry_dir.empty()) exp.enable_metrics_sampling(sec(5));
+  if (!cfg.telemetry_dir.empty()) {
+    exp.enable_metrics_sampling(sec(5));
+    // Streaming SLO layer: burn-rate monitor + latency-budget attribution,
+    // aggregated per control round.
+    SloAnalyticsOptions slo;
+    slo.attribution_window = sec(15);
+    exp.enable_slo_analytics(slo);
+  }
   exp.run();
 
   if (!cfg.telemetry_dir.empty()) {
@@ -228,12 +264,46 @@ inline CartTraceResult run_cart_trace(const CartTraceConfig& cfg) {
       std::ofstream os(base + "_metrics.jsonl");
       exp.export_metrics_jsonl(os);
     }
+    const std::string title =
+        "Sock Shop cart, " + cfg.telemetry_tag + " run";
+    {
+      std::ofstream os(base + "_slo_report.txt");
+      exp.export_slo_report_text(os, title);
+    }
+    {
+      std::ofstream os(base + "_slo_report.html");
+      exp.export_slo_report_html(os, title);
+    }
+    {
+      std::ofstream os(base + "_attribution.csv");
+      exp.export_attribution_csv(os);
+    }
+    {
+      std::ofstream os(base + "_burn.csv");
+      exp.export_burn_csv("e2e", os);
+    }
   }
 
   CartTraceResult out;
   out.summary = exp.summary();
   out.cart = exp.timeline("cart");
   out.client = exp.recorder().timeline();
+  if (exp.slo_analytics_enabled()) {
+    for (const auto* ep : exp.slo_monitor().episodes_for("e2e")) {
+      out.episodes.push_back(*ep);
+    }
+    const obs::ViolationEpisode* longest = nullptr;
+    for (const auto& ep : out.episodes) {
+      if (longest == nullptr || ep.duration() > longest->duration()) {
+        longest = &ep;
+      }
+    }
+    if (longest != nullptr) {
+      out.top_episode_consumer =
+          exp.attribution().top_consumer(longest->start, longest->end);
+    }
+  }
+  out.localized_critical_service = localization_mode(exp.decision_log());
   return out;
 }
 

@@ -17,9 +17,12 @@ struct DriftResult {
   std::vector<ServiceTimelinePoint> home_timeline;  // edge pool view
   std::vector<ServiceTimelinePoint> post_storage;   // CPU + replicas view
   std::vector<TimelineBucket> client;
+  std::size_t slo_episodes = 0;
+  std::string top_episode_consumer;  // during the longest e2e episode
 };
 
-DriftResult run(bool with_sora, std::uint64_t seed) {
+DriftResult run(bool with_sora, std::uint64_t seed,
+                const std::string& telemetry_dir) {
   social_network::Params params;
   params.post_storage_connections = 10;  // pre-profiled for light requests
   params.post_storage_cores = 2.0;
@@ -66,13 +69,59 @@ DriftResult run(bool with_sora, std::uint64_t seed) {
 
   exp.track_service("home-timeline", "post-storage");
   exp.track_service("post-storage");
+  if (!telemetry_dir.empty()) {
+    SloAnalyticsOptions slo;
+    slo.attribution_window = sec(15);
+    exp.enable_slo_analytics(slo);
+  }
   exp.run();
+
+  if (!telemetry_dir.empty()) {
+    std::filesystem::create_directories(telemetry_dir);
+    const std::string tag = with_sora ? "sora" : "hpa";
+    const std::string base = telemetry_dir + "/" + tag;
+    const std::string title = "Social Network drift, " + tag + " run";
+    {
+      std::ofstream os(base + "_slo_report.txt");
+      exp.export_slo_report_text(os, title);
+    }
+    {
+      std::ofstream os(base + "_slo_report.html");
+      exp.export_slo_report_html(os, title);
+    }
+    {
+      std::ofstream os(base + "_attribution.csv");
+      exp.export_attribution_csv(os);
+    }
+    {
+      std::ofstream os(base + "_burn.csv");
+      exp.export_burn_csv("e2e", os);
+    }
+    {
+      std::ofstream os(base + "_decisions.jsonl");
+      exp.export_decision_log(os);
+    }
+  }
 
   DriftResult out;
   out.summary = exp.summary();
   out.home_timeline = exp.timeline("home-timeline");
   out.post_storage = exp.timeline("post-storage");
   out.client = exp.recorder().timeline();
+  if (exp.slo_analytics_enabled()) {
+    const auto eps = exp.slo_monitor().episodes_for("e2e");
+    out.slo_episodes = eps.size();
+    const obs::ViolationEpisode* longest = nullptr;
+    for (const auto* ep : eps) {
+      if (longest == nullptr || ep->duration() > longest->duration()) {
+        longest = ep;
+      }
+    }
+    if (longest != nullptr) {
+      out.top_episode_consumer =
+          exp.attribution().top_consumer(longest->start, longest->end);
+    }
+  }
   return out;
 }
 
@@ -108,15 +157,20 @@ void print_panes(const std::string& label, const DriftResult& r) {
             << sparkline(conns) << "|\n";
 }
 
-int main_impl() {
+int main_impl(int argc, char** argv) {
   print_header(
       "Figure 12: Kubernetes HPA vs Sora under system-state drifting",
       "Paper: static 10-conn pool bottlenecks the scaled-out Post Storage "
       "after the light->heavy flip; Sora re-adapts (e.g. 120 conns across "
       "4 replicas)");
 
-  const DriftResult hpa = run(false, 6);
-  const DriftResult sora = run(true, 6);
+  // SLO report / attribution export directory, overridable as argv[1];
+  // "-" disables export.
+  std::string telemetry_dir = argc > 1 ? argv[1] : "telemetry/fig12";
+  if (telemetry_dir == "-") telemetry_dir.clear();
+
+  const DriftResult hpa = run(false, 6, telemetry_dir);
+  const DriftResult sora = run(true, 6, telemetry_dir);
   print_panes("(a) Kubernetes HPA only", hpa);
   print_panes("(b) HPA + Sora", sora);
 
@@ -133,10 +187,30 @@ int main_impl() {
              fmt_count(final_conns(sora)),
              "Sora grows with replicas + drift"});
   t.print(std::cout);
+
+  if (!telemetry_dir.empty()) {
+    std::cout << "\n=== Streaming SLO analytics ===\n";
+    std::cout << "HPA run:  " << hpa.slo_episodes
+              << " SLO violation episode(s)";
+    if (!hpa.top_episode_consumer.empty()) {
+      std::cout << ", longest episode's budget went to "
+                << hpa.top_episode_consumer;
+    }
+    std::cout << "\nSora run: " << sora.slo_episodes
+              << " SLO violation episode(s)";
+    if (!sora.top_episode_consumer.empty()) {
+      std::cout << ", longest episode's budget went to "
+                << sora.top_episode_consumer;
+    }
+    std::cout << "\nSLO reports exported to " << telemetry_dir
+              << "/: {hpa,sora}_slo_report.{txt,html}, "
+                 "{hpa,sora}_attribution.csv, {hpa,sora}_burn.csv, "
+                 "{hpa,sora}_decisions.jsonl\n";
+  }
   return 0;
 }
 
 }  // namespace
 }  // namespace sora::bench
 
-int main() { return sora::bench::main_impl(); }
+int main(int argc, char** argv) { return sora::bench::main_impl(argc, argv); }

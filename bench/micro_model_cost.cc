@@ -8,10 +8,15 @@
 
 #include <iostream>
 
+#include <algorithm>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stats.h"
 #include "core/deadline.h"
 #include "core/scg_model.h"
 #include "obs/profiler.h"
+#include "obs/quantile_sketch.h"
 #include "trace/critical_path.h"
 #include "trace/warehouse.h"
 
@@ -91,6 +96,71 @@ void BM_CriticalPathExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CriticalPathExtraction)->Arg(4)->Arg(16)->Arg(64);
+
+// -- percentile paths: sorted-vector vs. quantile sketch ----------------------
+//
+// The LatencyRecorder used to keep every sample and re-sort on each
+// percentile query — O(n log n) per query and O(n) memory. The sketch makes
+// the query O(buckets) and memory constant. These two benchmarks show the
+// before/after at growing sample counts.
+
+std::vector<double> make_latencies(std::size_t n) {
+  Rng rng(17);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(rng.lognormal_mean_cv(250000.0, 1.2));  // ~250ms, in usec
+  }
+  return out;
+}
+
+void BM_PercentileSortedVector(benchmark::State& state) {
+  // The pre-sketch LatencyRecorder::percentile_ms path: copy + full sort
+  // of the sample vector on every query.
+  const auto xs = make_latencies(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(percentile(xs, 99.0));
+  }
+  state.SetLabel("samples=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PercentileSortedVector)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PercentileQuantileSketch(benchmark::State& state) {
+  obs::QuantileSketch sk(0.01);
+  for (double v : make_latencies(static_cast<std::size_t>(state.range(0)))) {
+    sk.record(v);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sk.percentile(99.0));
+  }
+  state.SetLabel("samples=" + std::to_string(state.range(0)) +
+                 " buckets=" + std::to_string(sk.num_buckets()));
+}
+BENCHMARK(BM_PercentileQuantileSketch)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_QuantileSketchRecord(benchmark::State& state) {
+  // Ingest cost per sample (the recorder's hot path).
+  const auto xs = make_latencies(4096);
+  obs::QuantileSketch sk(0.01);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sk.record(xs[i++ & 4095]);
+  }
+  benchmark::DoNotOptimize(sk.count());
+}
+BENCHMARK(BM_QuantileSketchRecord);
+
+void BM_QuantileSketchMerge(benchmark::State& state) {
+  obs::QuantileSketch a(0.01), b(0.01);
+  for (double v : make_latencies(50000)) a.record(v);
+  for (double v : make_latencies(50000)) b.record(v * 1.5);
+  for (auto _ : state) {
+    obs::QuantileSketch merged(a);
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.count());
+  }
+}
+BENCHMARK(BM_QuantileSketchMerge);
 
 void BM_DeadlinePropagationWindow(benchmark::State& state) {
   TraceWarehouse wh(100000);

@@ -50,7 +50,10 @@ void FirmAutoscaler::tick() {
   warehouse_.for_each_in_window(window_start_, now, [&](const Trace& t) {
     rts.push_back(static_cast<double>(t.response_time()));
   });
-  const double p99 = percentile(rts, 99.0);
+  // Empty window (no completed traces) counts as p99 = 0 here: the
+  // kNoSample sentinel would poison the SimTime cast below, and "no
+  // traffic" should read as relaxed, not unknown.
+  const double p99 = rts.empty() ? 0.0 : percentile(rts, 99.0);
 
   // Critical-service localization (FIRM step).
   last_report_ = localizer_.analyze();

@@ -85,7 +85,7 @@ double LatencyHistogram::mean() const {
 }
 
 SimTime LatencyHistogram::percentile(double p) const {
-  if (count_ == 0) return 0;
+  if (count_ == 0) return kNoSampleTime;
   const double clamped = std::clamp(p, 0.0, 100.0);
   const auto target = std::max<std::uint64_t>(
       1, static_cast<std::uint64_t>(clamped / 100.0 *
@@ -122,12 +122,15 @@ LinearHistogram::LinearHistogram(double bucket_width, std::size_t num_buckets)
   assert(bucket_width > 0.0 && num_buckets > 0);
 }
 
-void LinearHistogram::record(double value) {
+void LinearHistogram::record(double value) { record_n(value, 1); }
+
+void LinearHistogram::record_n(double value, std::uint64_t n) {
+  if (n == 0) return;
   const double v = std::max(value, 0.0);
   auto idx = static_cast<std::size_t>(v / width_);
   idx = std::min(idx, counts_.size() - 1);
-  ++counts_[idx];
-  ++total_;
+  counts_[idx] += n;
+  total_ += n;
 }
 
 void LinearHistogram::reset() {

@@ -13,6 +13,11 @@
 
 namespace sora {
 
+/// Sentinel returned by SimTime-valued percentile queries on an empty
+/// histogram (the SimTime counterpart of common::kNoSample; durations are
+/// never negative, so -1 is unambiguous).
+inline constexpr SimTime kNoSampleTime = -1;
+
 /// Log-bucketed histogram over non-negative durations in microseconds.
 /// Buckets have <= `1/2^sub_bits` relative width, giving bounded relative
 /// error on percentile queries.
@@ -32,7 +37,8 @@ class LatencyHistogram {
   SimTime max() const { return count_ ? max_ : 0; }
   double mean() const;
 
-  /// p in [0, 100]. Returns a representative value (bucket midpoint).
+  /// p in [0, 100]. Returns a representative value (bucket midpoint), or
+  /// kNoSampleTime when the histogram is empty.
   SimTime percentile(double p) const;
 
   /// Number of recorded values <= threshold (approximate at bucket
@@ -60,6 +66,9 @@ class LinearHistogram {
   LinearHistogram(double bucket_width, std::size_t num_buckets);
 
   void record(double value);
+  /// Record `n` occurrences of `value` at once (used when rebuilding a
+  /// distribution from pre-aggregated counts, e.g. a quantile sketch).
+  void record_n(double value, std::uint64_t n);
   void reset();
 
   std::size_t num_buckets() const { return counts_.size(); }

@@ -57,7 +57,7 @@ double mape(std::span<const double> actual, std::span<const double> predicted) {
 }
 
 double percentile_sorted(std::span<const double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) return kNoSample;
   if (sorted.size() == 1) return sorted[0];
   const double clamped = std::clamp(p, 0.0, 100.0);
   const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
@@ -68,7 +68,7 @@ double percentile_sorted(std::span<const double> sorted, double p) {
 }
 
 double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
+  if (xs.empty()) return kNoSample;
   std::vector<double> copy(xs.begin(), xs.end());
   std::sort(copy.begin(), copy.end());
   return percentile_sorted(copy, p);

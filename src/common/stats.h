@@ -2,11 +2,22 @@
 // correlation (critical-service localization), MAPE (Table 1), percentiles.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace sora {
+
+/// Sentinel returned by every double-valued percentile/quantile API when the
+/// underlying sample set is empty ("no sample" is distinguishable from a
+/// measured 0). NaN propagates through arithmetic, compares false against
+/// any threshold, and the JSON exporters render it as null.
+inline constexpr double kNoSample = std::numeric_limits<double>::quiet_NaN();
+
+/// True when `v` is the empty-input sentinel of a percentile query.
+inline bool is_no_sample(double v) { return std::isnan(v); }
 
 /// Arithmetic mean; 0 for an empty span.
 double mean(std::span<const double> xs);
@@ -25,10 +36,12 @@ double pearson(std::span<const double> xs, std::span<const double> ys);
 double mape(std::span<const double> actual, std::span<const double> predicted);
 
 /// p-th percentile (p in [0,100]) by linear interpolation of the sorted
-/// sample. Returns 0 for an empty sample. The input is copied, not mutated.
+/// sample. Returns kNoSample for an empty sample. The input is copied, not
+/// mutated.
 double percentile(std::span<const double> xs, double p);
 
-/// Percentile of an already-sorted sample (no copy).
+/// Percentile of an already-sorted sample (no copy). Returns kNoSample for
+/// an empty sample.
 double percentile_sorted(std::span<const double> sorted, double p);
 
 /// Streaming mean/variance accumulator (Welford).

@@ -143,6 +143,36 @@ void Experiment::enable_metrics_sampling(SimTime period) {
   metrics_period_ = period;
 }
 
+void Experiment::enable_slo_analytics(SloAnalyticsOptions options) {
+  if (slo_monitor_ != nullptr) return;
+  slo_options_ = options;
+  slo_monitor_ = std::make_unique<obs::SloMonitor>(options.monitor);
+  slo_monitor_->set_decision_log(&decision_log_);
+  attributor_ = std::make_unique<obs::BudgetAttributor>(
+      config_.sla, options.attribution_window,
+      [this](ServiceId id) { return app_->service_name(id); });
+
+  // Stamp deadline/slack annotations before the warehouse (or any other
+  // listener) sees the trace, so stored spans carry their budget.
+  tracer_.set_trace_finalizer(
+      [this](Trace& t) { obs::annotate_budget(t, config_.sla); });
+
+  tracer_.add_trace_listener([this](const Trace& t) {
+    const obs::TraceBudget budget = obs::attribute_budget(t, config_.sla);
+    attributor_->on_budget(budget, t.end);
+    slo_monitor_->record("e2e", t.end, budget.met_sla);
+    if (slo_options_.per_service) {
+      // A hop is good when it stayed within its propagated budget — this is
+      // the per-service SLO signal (a leaf can be "bad" even on requests
+      // that squeaked in under the end-to-end SLA, and vice versa).
+      for (const obs::HopBudget& hop : budget.hops) {
+        slo_monitor_->record(app_->service_name(hop.service), t.end,
+                             hop.slack >= 0);
+      }
+    }
+  });
+}
+
 void Experiment::start_all() {
   if (started_) return;
   started_ = true;
@@ -162,11 +192,23 @@ void Experiment::start_all() {
       app_->metrics().begin_window();
     });
   }
+  if (slo_monitor_ != nullptr) {
+    slo_tick_ = sim_.schedule_periodic(
+        slo_options_.monitor.bucket,
+        [this] { slo_monitor_->evaluate(sim_.now()); });
+  }
 }
 
 void Experiment::run() {
   start_all();
   sim_.run_until(sim_.now() + config_.duration);
+  if (slo_monitor_ != nullptr) {
+    // Close the books: final burn evaluation, open episodes end with the
+    // run, and the partial attribution window is flushed.
+    slo_monitor_->evaluate(sim_.now());
+    slo_monitor_->finish(sim_.now());
+    attributor_->flush(sim_.now());
+  }
 }
 
 void Experiment::run_until(SimTime t) {
@@ -187,9 +229,44 @@ ExperimentSummary Experiment::summary() const {
   s.throughput_rps =
       elapsed > 0 ? static_cast<double>(s.completed) / to_sec(elapsed) : 0.0;
   s.good_fraction = recorder_->good_fraction();
+  s.slo_episodes =
+      slo_monitor_ != nullptr ? slo_monitor_->episodes().size() : 0;
   s.controller_overhead =
       obs::OverheadProfiler::global().stats_since(profile_baseline_);
   return s;
+}
+
+void Experiment::export_slo_report_text(std::ostream& os,
+                                        const std::string& title) const {
+  obs::SloReportInputs in;
+  in.title = title;
+  in.sla = config_.sla;
+  in.latency = &recorder_->sketch();
+  in.monitor = slo_monitor_.get();
+  in.attribution = attributor_.get();
+  in.decisions = &decision_log_;
+  obs::write_slo_report_text(in, os);
+}
+
+void Experiment::export_slo_report_html(std::ostream& os,
+                                        const std::string& title) const {
+  obs::SloReportInputs in;
+  in.title = title;
+  in.sla = config_.sla;
+  in.latency = &recorder_->sketch();
+  in.monitor = slo_monitor_.get();
+  in.attribution = attributor_.get();
+  in.decisions = &decision_log_;
+  obs::write_slo_report_html(in, os);
+}
+
+void Experiment::export_attribution_csv(std::ostream& os) const {
+  if (attributor_ != nullptr) attributor_->write_csv(os);
+}
+
+void Experiment::export_burn_csv(const std::string& entity,
+                                 std::ostream& os) const {
+  if (slo_monitor_ != nullptr) slo_monitor_->burn_timeline(entity).write_csv(os);
 }
 
 std::size_t Experiment::export_chrome_trace(std::ostream& os,

@@ -16,9 +16,12 @@
 #include "autoscale/vpa.h"
 #include "core/sora.h"
 #include "metrics/latency_recorder.h"
+#include "obs/budget.h"
 #include "obs/chrome_trace.h"
 #include "obs/decision_log.h"
 #include "obs/profiler.h"
+#include "obs/slo_monitor.h"
+#include "obs/slo_report.h"
 #include "obs/timeseries.h"
 #include "sim/simulator.h"
 #include "svc/application.h"
@@ -27,6 +30,18 @@
 #include "workload/generator.h"
 
 namespace sora {
+
+/// Configuration of Experiment::enable_slo_analytics.
+struct SloAnalyticsOptions {
+  obs::SloMonitorOptions monitor;
+  /// Attribution aggregation window (one row per service per window);
+  /// aligned with the control period so attribution lines up with the
+  /// decision log.
+  SimTime attribution_window = sec(15);
+  /// Also track one SLO entity per service, fed by latency-budget slack
+  /// (a hop is "bad" when it exhausted its propagated budget).
+  bool per_service = true;
+};
 
 struct ExperimentConfig {
   std::uint64_t seed = 42;
@@ -53,12 +68,17 @@ struct ExperimentSummary {
   std::uint64_t injected = 0;
   std::uint64_t completed = 0;
   double mean_ms = 0.0;
+  /// Tail percentiles from the recorder's mergeable quantile sketch
+  /// (relative error bounded by the sketch accuracy, default 1%).
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
   double goodput_rps = 0.0;    ///< within SLA
   double throughput_rps = 0.0;
   double good_fraction = 0.0;
+  /// SLO violation episodes detected by the monitor (0 when SLO analytics
+  /// was not enabled).
+  std::size_t slo_episodes = 0;
   /// Wall-clock cost of the control-plane stages incurred during this
   /// experiment (delta since the Experiment was constructed); substantiates
   /// the paper's §6 overhead claim. Sim results are unaffected.
@@ -115,6 +135,28 @@ class Experiment {
   const std::vector<obs::MetricsSnapshot>& metrics_snapshots() const {
     return metrics_snapshots_;
   }
+
+  // -- streaming SLO analytics --------------------------------------------------
+
+  /// Turn on the streaming SLO layer. Call before the run starts. Every
+  /// completed trace is budget-annotated (spans gain deadline/slack), fed to
+  /// the burn-rate monitor and the per-service budget attributor; episodes
+  /// are appended to the decision log.
+  void enable_slo_analytics(SloAnalyticsOptions options = {});
+  bool slo_analytics_enabled() const { return slo_monitor_ != nullptr; }
+  obs::SloMonitor& slo_monitor() { return *slo_monitor_; }
+  const obs::SloMonitor& slo_monitor() const { return *slo_monitor_; }
+  obs::BudgetAttributor& attribution() { return *attributor_; }
+  const obs::BudgetAttributor& attribution() const { return *attributor_; }
+
+  /// The stitched SLO report (percentiles + burn + episodes + attribution).
+  /// Valid after (or during) a run with SLO analytics enabled.
+  void export_slo_report_text(std::ostream& os, const std::string& title) const;
+  void export_slo_report_html(std::ostream& os, const std::string& title) const;
+  /// Per-service attribution windows as combined CSV.
+  void export_attribution_csv(std::ostream& os) const;
+  /// Burn-rate timeline of one SLO entity ("e2e" or a service name) as CSV.
+  void export_burn_csv(const std::string& entity, std::ostream& os) const;
 
   /// One JSONL line per control decision, in append order.
   void export_decision_log(std::ostream& os) const {
@@ -179,6 +221,11 @@ class Experiment {
   std::vector<obs::MetricsSnapshot> metrics_snapshots_;
   SimTime metrics_period_ = 0;
   EventHandle metrics_tick_;
+
+  SloAnalyticsOptions slo_options_;
+  std::unique_ptr<obs::SloMonitor> slo_monitor_;
+  std::unique_ptr<obs::BudgetAttributor> attributor_;
+  EventHandle slo_tick_;
   // Profiler state at construction; summary() reports the delta, so
   // back-to-back experiments in one process attribute costs correctly.
   std::vector<obs::StageStats> profile_baseline_;

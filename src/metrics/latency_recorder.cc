@@ -22,7 +22,7 @@ TimelineBucket& LatencyRecorder::bucket_for(SimTime t) {
 
 void LatencyRecorder::record(SimTime rt) {
   hist_.record(rt);
-  raw_.push_back(rt);
+  sketch_.record(static_cast<double>(rt));
   TimelineBucket& b = bucket_for(sim_.now());
   ++b.completed;
   if (rt <= sla_) ++b.good;
@@ -31,12 +31,7 @@ void LatencyRecorder::record(SimTime rt) {
 }
 
 double LatencyRecorder::percentile_ms(double p) const {
-  if (raw_.empty()) return 0.0;
-  std::vector<double> copy;
-  copy.reserve(raw_.size());
-  for (SimTime v : raw_) copy.push_back(static_cast<double>(v));
-  std::sort(copy.begin(), copy.end());
-  return percentile_sorted(copy, p) / 1e3;
+  return sketch_.percentile(p) / 1e3;  // kNoSample propagates through /
 }
 
 double LatencyRecorder::average_goodput() const {
@@ -48,16 +43,25 @@ double LatencyRecorder::average_goodput() const {
 }
 
 double LatencyRecorder::good_fraction() const {
-  if (raw_.empty()) return 0.0;
+  if (count() == 0) return 0.0;
   std::uint64_t good = 0;
   for (const auto& b : timeline_) good += b.good;
-  return static_cast<double>(good) / static_cast<double>(raw_.size());
+  return static_cast<double>(good) / static_cast<double>(count());
 }
 
 LinearHistogram LatencyRecorder::distribution_ms(double bucket_ms,
                                                  std::size_t buckets) const {
+  // Rebuild the linear view from the sketch's cumulative counts: each grid
+  // cell receives the samples whose sketch representative falls inside it.
   LinearHistogram h(bucket_ms, buckets);
-  for (SimTime v : raw_) h.record(to_msec(v));
+  std::uint64_t below = 0;
+  for (std::size_t i = 0; i + 1 < buckets; ++i) {
+    const double hi_us = bucket_ms * static_cast<double>(i + 1) * 1e3;
+    const std::uint64_t cum = sketch_.count_at_or_below(hi_us);
+    h.record_n(h.bucket_center(i), cum - below);
+    below = cum;
+  }
+  h.record_n(h.bucket_center(buckets - 1), sketch_.count() - below);
   return h;
 }
 

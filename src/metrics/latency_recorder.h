@@ -1,11 +1,12 @@
 // End-to-end latency and goodput recording.
 //
 // The recorder is wired as the workload generator's completion observer. It
-// maintains (a) a log-bucketed histogram plus raw samples for exact tail
-// percentiles (Table 2), (b) a per-bucket timeline of mean/max response
-// time, throughput and goodput for the figure-style timeline plots
-// (Figures 10-12), and (c) a linear histogram of the full response-time
-// distribution (Figure 4).
+// maintains (a) a mergeable quantile sketch plus a log-bucketed histogram
+// for tail percentiles (Table 2) in memory independent of the sample count,
+// (b) a per-bucket timeline of mean/max response time, throughput and
+// goodput for the figure-style timeline plots (Figures 10-12), and (c) a
+// linear-grid view of the response-time distribution derived from the
+// sketch (Figure 4).
 #pragma once
 
 #include <cstdint>
@@ -13,6 +14,7 @@
 
 #include "common/histogram.h"
 #include "common/time.h"
+#include "obs/quantile_sketch.h"
 #include "sim/simulator.h"
 
 namespace sora {
@@ -44,7 +46,10 @@ class LatencyRecorder {
 
   // -- summary ----------------------------------------------------------------
 
-  std::uint64_t count() const { return raw_.size(); }
+  std::uint64_t count() const { return sketch_.count(); }
+  /// p-th response-time percentile in milliseconds, answered by the quantile
+  /// sketch (relative error bounded by the sketch's accuracy, default 1%).
+  /// Returns kNoSample when nothing has been recorded.
   double percentile_ms(double p) const;
   double mean_ms() const { return to_msec(static_cast<SimTime>(hist_.mean())); }
 
@@ -61,10 +66,15 @@ class LatencyRecorder {
   const std::vector<TimelineBucket>& timeline() const { return timeline_; }
   SimTime bucket_width() const { return bucket_; }
 
-  /// Response-time distribution on a linear ms grid (for Figure 4).
+  /// Response-time distribution on a linear ms grid (for Figure 4), rebuilt
+  /// from the sketch (counts are exact up to the sketch's bucket
+  /// granularity).
   LinearHistogram distribution_ms(double bucket_ms, std::size_t buckets) const;
 
   const LatencyHistogram& histogram() const { return hist_; }
+  /// The mergeable response-time sketch (microsecond unit), for SLO
+  /// reporting and cross-run aggregation.
+  const obs::QuantileSketch& sketch() const { return sketch_; }
 
  private:
   TimelineBucket& bucket_for(SimTime t);
@@ -74,7 +84,7 @@ class LatencyRecorder {
   SimTime bucket_;
   SimTime start_;
   LatencyHistogram hist_;
-  std::vector<SimTime> raw_;
+  obs::QuantileSketch sketch_;
   std::vector<TimelineBucket> timeline_;
 };
 

@@ -47,6 +47,14 @@ std::string ControlDecisionRecord::to_json() const {
   }
   if (good_fraction < 1.0) obj.field("good_fraction", good_fraction);
 
+  if (fast_burn != 0.0 || slow_burn != 0.0) {
+    obj.field("fast_burn", fast_burn).field("slow_burn", slow_burn);
+  }
+  if (peak_burn != 0.0) obj.field("peak_burn", peak_burn);
+  if (episode_duration != 0) {
+    obj.field("episode_duration_s", to_sec(episode_duration));
+  }
+
   if (old_size != 0 || new_size != 0) {
     obj.field("old_size", old_size).field("new_size", new_size);
   }

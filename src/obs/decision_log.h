@@ -57,9 +57,16 @@ struct ControlDecisionRecord {
   double good_fraction = 1.0;
   std::string estimate_failure;  ///< non-empty when !estimate_valid
 
+  // -- SLO evidence (slo-monitor episode records) -------------------------------
+  double fast_burn = 0.0;   ///< fast-window burn rate at the decision point
+  double slow_burn = 0.0;   ///< slow-window burn rate
+  double peak_burn = 0.0;   ///< peak fast burn over the episode (close records)
+  SimTime episode_duration = 0;  ///< episode length (close records)
+
   // -- verdict ------------------------------------------------------------------
   /// "applied", "explored", "proportional", "none" (soft);
-  /// "scale_up", "scale_down", "scale_out", "scale_in", "hold" (hardware).
+  /// "scale_up", "scale_down", "scale_out", "scale_in", "hold" (hardware);
+  /// "episode_start", "episode_end" (slo-monitor).
   std::string action;
   std::string reason;  ///< human-readable why
   int old_size = 0;    ///< pool per-replica size (soft)

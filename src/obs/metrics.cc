@@ -33,12 +33,6 @@ const char* to_string(MetricKind kind) {
   return "?";
 }
 
-void HistogramMetric::observe(double value) {
-  const double v = std::max(0.0, value);
-  sum_ += v;
-  hist_.record(static_cast<SimTime>(std::llround(v)));
-}
-
 const SeriesSnapshot* MetricsSnapshot::find(const std::string& name,
                                             const MetricLabels& labels) const {
   MetricLabels sorted = labels;

@@ -27,8 +27,8 @@
 #include <utility>
 #include <vector>
 
-#include "common/histogram.h"
 #include "common/time.h"
+#include "obs/quantile_sketch.h"
 
 namespace sora::obs {
 
@@ -69,22 +69,28 @@ class Gauge {
 
 /// Distribution instrument over non-negative values (negative observations
 /// are clamped to 0). Unit is the caller's choice; the convention in this
-/// repo is microseconds for durations.
+/// repo is microseconds for durations. Backed by a mergeable quantile
+/// sketch, so per-instance series can be combined across registries or time
+/// windows without raw samples.
 class HistogramMetric {
  public:
-  void observe(double value);
+  void observe(double value) { sketch_.record(value); }
 
-  std::uint64_t count() const { return hist_.count(); }
-  double sum() const { return sum_; }
-  double mean() const { return count() ? sum_ / static_cast<double>(count()) : 0.0; }
-  double min() const { return static_cast<double>(hist_.min()); }
-  double max() const { return static_cast<double>(hist_.max()); }
-  /// p in [0, 100]; bucket-midpoint representative value.
-  double percentile(double p) const { return static_cast<double>(hist_.percentile(p)); }
+  std::uint64_t count() const { return sketch_.count(); }
+  double sum() const { return sketch_.sum(); }
+  double mean() const { return sketch_.mean(); }
+  double min() const { return sketch_.min(); }
+  double max() const { return sketch_.max(); }
+  /// p in [0, 100]; relative-error-bounded representative value (kNoSample
+  /// when nothing was observed).
+  double percentile(double p) const { return sketch_.percentile(p); }
+
+  /// Fold another instrument's observations into this one.
+  void merge(const HistogramMetric& other) { sketch_.merge(other.sketch_); }
+  const QuantileSketch& sketch() const { return sketch_; }
 
  private:
-  LatencyHistogram hist_;
-  double sum_ = 0.0;
+  QuantileSketch sketch_;
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

@@ -1,0 +1,119 @@
+#include "obs/quantile_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sora::obs {
+
+namespace {
+// Values below this are indistinguishable from zero for latency purposes
+// (well under a nanosecond in the repo's microsecond convention) and go to
+// the zero bucket; keeps the key range finite.
+constexpr double kMinIndexable = 1e-9;
+}  // namespace
+
+QuantileSketch::QuantileSketch(double relative_accuracy,
+                               std::size_t max_buckets)
+    : alpha_(relative_accuracy),
+      gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
+      log_gamma_(std::log(gamma_)),
+      max_buckets_(std::max<std::size_t>(max_buckets, 8)) {
+  assert(relative_accuracy > 0.0 && relative_accuracy < 1.0);
+}
+
+int QuantileSketch::key_for(double value) const {
+  // Bucket key k covers (gamma^(k-1), gamma^k]; any value there is within
+  // alpha of the representative 2*gamma^k / (gamma + 1).
+  return static_cast<int>(std::ceil(std::log(value) / log_gamma_));
+}
+
+double QuantileSketch::representative(int key) const {
+  return 2.0 * std::pow(gamma_, key) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::record(double value, std::uint64_t n) {
+  if (n == 0) return;
+  const double v = value < 0.0 ? 0.0 : value;
+  if (v < kMinIndexable) {
+    zero_count_ += n;
+  } else {
+    buckets_[key_for(v)] += n;
+    collapse_if_needed();
+  }
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_ += n;
+  sum_ += v * static_cast<double>(n);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  assert(alpha_ == other.alpha_ && "merging sketches of different accuracy");
+  if (other.count_ == 0) return;
+  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
+  collapse_if_needed();
+  zero_count_ += other.zero_count_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void QuantileSketch::reset() {
+  buckets_.clear();
+  zero_count_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+void QuantileSketch::collapse_if_needed() {
+  // Collapse the lowest keys together until under the cap. SLO analytics
+  // reads the upper tail, so the low end is the safe place to coarsen.
+  while (buckets_.size() > max_buckets_) {
+    auto lowest = buckets_.begin();
+    auto second = std::next(lowest);
+    second->second += lowest->second;
+    buckets_.erase(lowest);
+  }
+}
+
+double QuantileSketch::percentile(double p) const {
+  if (count_ == 0) return kNoSample;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const auto rank = static_cast<std::uint64_t>(
+      clamped / 100.0 * static_cast<double>(count_ - 1) + 0.5);
+  // rank is 0-based: find the bucket holding the (rank+1)-th smallest value.
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t seen = zero_count_;
+  for (const auto& [key, n] : buckets_) {
+    seen += n;
+    if (seen > rank) {
+      // Clamp into the observed range so p0/p100 never leave [min, max].
+      return std::clamp(representative(key), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::uint64_t QuantileSketch::count_at_or_below(double threshold) const {
+  if (count_ == 0 || threshold < 0.0) return 0;
+  if (threshold >= max_) return count_;
+  std::uint64_t seen = zero_count_;
+  for (const auto& [key, n] : buckets_) {
+    if (representative(key) > threshold) break;
+    seen += n;
+  }
+  return seen;
+}
+
+}  // namespace sora::obs

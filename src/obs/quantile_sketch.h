@@ -1,0 +1,83 @@
+// Mergeable quantile sketch (DDSketch-style) with bounded relative error.
+//
+// The streaming replacement for the sample-vector percentile paths: record()
+// maps each value onto a logarithmic bucket grid chosen so that any value in
+// a bucket is within `relative_accuracy` of the bucket's representative
+// value; percentile queries then walk the cumulative counts. Memory is
+// O(log(max/min) / relative_accuracy) — independent of how many samples were
+// recorded — and two sketches with the same accuracy merge by adding bucket
+// counts, so per-instance or per-window sketches compose into global ones
+// without revisiting samples.
+//
+// Guarantee: for a non-empty sketch, percentile(p) is within a factor
+// (1 ± relative_accuracy) of an exact order statistic at that rank.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+#include "common/stats.h"
+
+namespace sora::obs {
+
+class QuantileSketch {
+ public:
+  /// `relative_accuracy` (alpha, in (0,1)) bounds the relative error of
+  /// quantile queries. `max_buckets` caps memory: when exceeded, the lowest
+  /// buckets collapse into one (tail accuracy — what SLO monitoring reads —
+  /// is always preserved; only the extreme low quantiles coarsen).
+  explicit QuantileSketch(double relative_accuracy = 0.01,
+                          std::size_t max_buckets = 4096);
+
+  /// Record `n` occurrences of `value`. Negative values clamp to 0; values
+  /// below the indexable minimum land in a dedicated zero bucket.
+  void record(double value, std::uint64_t n = 1);
+
+  /// Merge another sketch (must have the same relative accuracy).
+  void merge(const QuantileSketch& other);
+
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+  /// p in [0, 100]. Returns kNoSample (NaN) for an empty sketch; otherwise a
+  /// representative value within the configured relative accuracy of the
+  /// order statistic at rank round(p/100 * (count-1)).
+  double percentile(double p) const;
+
+  /// Number of recorded values <= threshold, at bucket granularity.
+  std::uint64_t count_at_or_below(double threshold) const;
+
+  double relative_accuracy() const { return alpha_; }
+  /// Current number of occupied buckets (the memory footprint proxy; bounded
+  /// by max_buckets regardless of sample count).
+  std::size_t num_buckets() const {
+    return buckets_.size() + (zero_count_ > 0 ? 1 : 0);
+  }
+  std::size_t max_buckets() const { return max_buckets_; }
+
+ private:
+  int key_for(double value) const;
+  double representative(int key) const;
+  void collapse_if_needed();
+
+  double alpha_;
+  double gamma_;      // (1 + alpha) / (1 - alpha)
+  double log_gamma_;  // ln(gamma)
+  std::size_t max_buckets_;
+
+  std::map<int, std::uint64_t> buckets_;  // key -> count, ordered by value
+  std::uint64_t zero_count_ = 0;          // values < kMinIndexable
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sora::obs

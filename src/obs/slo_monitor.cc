@@ -1,0 +1,173 @@
+#include "obs/slo_monitor.h"
+
+#include <algorithm>
+
+#include "obs/decision_log.h"
+
+namespace sora::obs {
+
+SloMonitor::SloMonitor(SloMonitorOptions options) : options_(options) {
+  options_.bucket = std::max<SimTime>(options_.bucket, 1);
+  options_.fast_window = std::max(options_.fast_window, options_.bucket);
+  options_.slow_window = std::max(options_.slow_window, options_.fast_window);
+  options_.target = std::clamp(options_.target, 0.0, 0.999999);
+}
+
+void SloMonitor::record(const std::string& entity, SimTime at, bool good) {
+  Entity& e = entities_[entity];
+  const SimTime bucket_start = (at / options_.bucket) * options_.bucket;
+  if (e.ring.empty() || e.ring.back().start < bucket_start) {
+    e.ring.push_back(Bucket{bucket_start, 0, 0});
+  }
+  // Out-of-order completions land in the newest bucket; the error is at most
+  // one bucket of skew, which the windowed sums tolerate.
+  Bucket& b = e.ring.back();
+  if (good) {
+    ++b.good;
+    ++e.total_good;
+  } else {
+    ++b.bad;
+    ++e.total_bad;
+  }
+  if (e.in_episode) {
+    ViolationEpisode& ep = episodes_[e.episode_index];
+    ++ep.requests;
+    if (!good) ++ep.bad_requests;
+  }
+  // Trim history beyond the slow window.
+  const SimTime horizon = bucket_start - options_.slow_window;
+  while (!e.ring.empty() && e.ring.front().start < horizon) e.ring.pop_front();
+}
+
+void SloMonitor::window_rates(const Entity& e, SimTime now, SimTime window,
+                              double* burn, double* good_ratio) const {
+  std::uint64_t good = 0, bad = 0;
+  const SimTime from = now - window;
+  for (const Bucket& b : e.ring) {
+    if (b.start + options_.bucket <= from || b.start > now) continue;
+    good += b.good;
+    bad += b.bad;
+  }
+  const std::uint64_t total = good + bad;
+  const double bad_fraction =
+      total ? static_cast<double>(bad) / static_cast<double>(total) : 0.0;
+  *good_ratio = total ? 1.0 - bad_fraction : 1.0;
+  *burn = bad_fraction / (1.0 - options_.target);
+}
+
+void SloMonitor::log_episode(const ViolationEpisode& ep, bool opening,
+                             double fast_burn, double slow_burn) {
+  if (decision_log_ == nullptr) return;
+  ControlDecisionRecord rec;
+  rec.at = opening ? ep.start : ep.end;
+  rec.controller = "slo-monitor";
+  rec.target = ep.entity;
+  rec.action = opening ? "episode_start" : "episode_end";
+  rec.fast_burn = fast_burn;
+  rec.slow_burn = slow_burn;
+  if (opening) {
+    rec.reason = "burn rate above threshold in fast+slow windows";
+  } else {
+    rec.peak_burn = ep.peak_fast_burn;
+    rec.episode_duration = ep.duration();
+    rec.reason = "fast-window burn recovered";
+  }
+  decision_log_->append(std::move(rec));
+}
+
+void SloMonitor::evaluate(SimTime now) {
+  for (auto& [name, e] : entities_) {
+    double fast_burn = 0.0, slow_burn = 0.0;
+    double fast_good = 1.0, slow_good = 1.0;
+    window_rates(e, now, options_.fast_window, &fast_burn, &fast_good);
+    window_rates(e, now, options_.slow_window, &slow_burn, &slow_good);
+
+    if (!e.in_episode && fast_burn >= options_.burn_threshold &&
+        slow_burn >= options_.burn_threshold) {
+      ViolationEpisode ep;
+      ep.entity = name;
+      ep.start = ep.end = now;
+      ep.open = true;
+      ep.peak_fast_burn = fast_burn;
+      e.in_episode = true;
+      e.episode_index = episodes_.size();
+      episodes_.push_back(ep);
+      log_episode(episodes_.back(), /*opening=*/true, fast_burn, slow_burn);
+    } else if (e.in_episode) {
+      ViolationEpisode& ep = episodes_[e.episode_index];
+      ep.end = now;
+      ep.peak_fast_burn = std::max(ep.peak_fast_burn, fast_burn);
+      if (fast_burn < options_.burn_threshold) {
+        ep.open = false;
+        e.in_episode = false;
+        log_episode(ep, /*opening=*/false, fast_burn, slow_burn);
+      }
+    }
+
+    BurnPoint p;
+    p.at = now;
+    p.good_ratio_fast = fast_good;
+    p.fast_burn = fast_burn;
+    p.slow_burn = slow_burn;
+    p.in_episode = e.in_episode;
+    e.timeline.push_back(p);
+  }
+}
+
+void SloMonitor::finish(SimTime now) {
+  for (auto& [name, e] : entities_) {
+    if (!e.in_episode) continue;
+    ViolationEpisode& ep = episodes_[e.episode_index];
+    ep.end = std::max(ep.end, now);
+    ep.open = false;
+    e.in_episode = false;
+    log_episode(ep, /*opening=*/false, 0.0, 0.0);
+  }
+}
+
+std::vector<const ViolationEpisode*> SloMonitor::episodes_for(
+    const std::string& entity) const {
+  std::vector<const ViolationEpisode*> out;
+  for (const ViolationEpisode& ep : episodes_) {
+    if (ep.entity == entity) out.push_back(&ep);
+  }
+  return out;
+}
+
+double SloMonitor::good_ratio(const std::string& entity) const {
+  const auto it = entities_.find(entity);
+  if (it == entities_.end()) return 1.0;
+  const std::uint64_t total = it->second.total_good + it->second.total_bad;
+  return total ? static_cast<double>(it->second.total_good) /
+                     static_cast<double>(total)
+               : 1.0;
+}
+
+std::uint64_t SloMonitor::total(const std::string& entity) const {
+  const auto it = entities_.find(entity);
+  if (it == entities_.end()) return 0;
+  return it->second.total_good + it->second.total_bad;
+}
+
+std::vector<std::string> SloMonitor::entities() const {
+  std::vector<std::string> out;
+  out.reserve(entities_.size());
+  for (const auto& [name, e] : entities_) out.push_back(name);
+  return out;
+}
+
+TimeSeriesSink SloMonitor::burn_timeline(const std::string& entity) const {
+  TimeSeriesSink sink(entity,
+                      {"good_ratio_fast", "fast_burn", "slow_burn",
+                       "in_episode"});
+  const auto it = entities_.find(entity);
+  if (it == entities_.end()) return sink;
+  for (const BurnPoint& p : it->second.timeline) {
+    const double row[] = {p.good_ratio_fast, p.fast_burn, p.slow_burn,
+                          p.in_episode ? 1.0 : 0.0};
+    sink.append(p.at, row);
+  }
+  return sink;
+}
+
+}  // namespace sora::obs

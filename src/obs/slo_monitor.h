@@ -1,0 +1,132 @@
+// Streaming SLO monitor: goodput ratio, multi-window burn rate, and
+// violation-episode detection.
+//
+// SRE-style error-budget accounting over the stream of request outcomes:
+// with an objective of `target` good requests (e.g. 99%), the error budget
+// is (1 - target) and the burn rate over a window is
+//     bad_fraction(window) / (1 - target)
+// — burn 1.0 consumes exactly the budget, sustained burn >> 1 is an
+// outage-in-progress. Two windows are evaluated (the classic fast/slow
+// multiwindow alert): the fast window reacts, the slow window suppresses
+// flapping. An *episode* opens when both windows burn above the threshold
+// and closes when the fast window recovers; each episode records its
+// start/end/duration/peak so controller decisions (PR-1 decision log) can be
+// lined up against the violations that triggered them.
+//
+// Entities are tracked independently: one for the end-to-end SLO and one per
+// service (fed by latency-budget slack, see obs/budget.h). Memory per entity
+// is O(slow_window / bucket) — independent of request count.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/timeseries.h"
+
+namespace sora::obs {
+
+class DecisionLog;
+
+struct SloMonitorOptions {
+  /// Objective: fraction of requests that must be good (within deadline).
+  double target = 0.99;
+  /// Fast (reacting) and slow (confirming) burn-rate windows.
+  SimTime fast_window = sec(60);
+  SimTime slow_window = sec(300);
+  /// Episode entry threshold on both windows' burn rates. The SRE default
+  /// for a fast burn (2% of a 30-day budget in one hour) is 14.4; sim runs
+  /// are minutes long, so the default here is a modest multiple of budget.
+  double burn_threshold = 2.0;
+  /// Counting granularity of the window ring.
+  SimTime bucket = sec(1);
+};
+
+/// One contiguous episode of SLO violation for one entity.
+struct ViolationEpisode {
+  std::string entity;
+  SimTime start = 0;
+  SimTime end = 0;  ///< == start while still open
+  bool open = false;
+  double peak_fast_burn = 0.0;
+  std::uint64_t bad_requests = 0;  ///< bad outcomes observed during episode
+  std::uint64_t requests = 0;      ///< all outcomes observed during episode
+
+  SimTime duration() const { return end - start; }
+};
+
+/// One evaluation sample of an entity's burn state.
+struct BurnPoint {
+  SimTime at = 0;
+  double good_ratio_fast = 1.0;
+  double fast_burn = 0.0;
+  double slow_burn = 0.0;
+  bool in_episode = false;
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloMonitorOptions options = {});
+
+  /// Record one request outcome for `entity` at time `at`.
+  void record(const std::string& entity, SimTime at, bool good);
+
+  /// Evaluate burn rates for every entity as of `now`; call periodically
+  /// (e.g. once per timeline bucket). Opens/closes episodes and appends one
+  /// BurnPoint per entity.
+  void evaluate(SimTime now);
+
+  /// Close any open episodes (end of run).
+  void finish(SimTime now);
+
+  /// Episodes in detection order; `entity` filter optional.
+  const std::vector<ViolationEpisode>& episodes() const { return episodes_; }
+  std::vector<const ViolationEpisode*> episodes_for(
+      const std::string& entity) const;
+
+  /// All-time good fraction for an entity (1.0 when nothing recorded).
+  double good_ratio(const std::string& entity) const;
+  std::uint64_t total(const std::string& entity) const;
+  std::vector<std::string> entities() const;
+
+  /// Burn-rate timeline of one entity (empty sink when never evaluated).
+  TimeSeriesSink burn_timeline(const std::string& entity) const;
+
+  /// Emit episode open/close records ("episode_start"/"episode_end", with
+  /// controller "slo-monitor") into a decision log. Nullptr detaches.
+  void set_decision_log(DecisionLog* log) { decision_log_ = log; }
+
+  const SloMonitorOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    SimTime start = 0;
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  struct Entity {
+    std::deque<Bucket> ring;  // oldest first; spans <= slow_window
+    std::uint64_t total_good = 0;
+    std::uint64_t total_bad = 0;
+    // episode state
+    bool in_episode = false;
+    std::size_t episode_index = 0;  // into episodes_ while open
+    std::vector<BurnPoint> timeline;
+  };
+
+  void window_rates(const Entity& e, SimTime now, SimTime window,
+                    double* burn, double* good_ratio) const;
+  void log_episode(const ViolationEpisode& ep, bool opening, double fast_burn,
+                   double slow_burn);
+
+  SloMonitorOptions options_;
+  std::map<std::string, Entity> entities_;
+  std::vector<ViolationEpisode> episodes_;
+  DecisionLog* decision_log_ = nullptr;
+};
+
+}  // namespace sora::obs

@@ -1,0 +1,41 @@
+// Per-experiment SLO report generator.
+//
+// Stitches the streaming SLO analytics into one human-readable artifact:
+// sketch percentiles, burn-rate summary, violation episodes (each with the
+// top budget-consuming service during the episode), the per-service
+// latency-budget attribution table, and the controller decisions that fired
+// while episodes were open. Emitted as plain text (terminal/log friendly)
+// or a self-contained HTML page (no external assets).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/time.h"
+
+namespace sora::obs {
+
+class QuantileSketch;
+class SloMonitor;
+class BudgetAttributor;
+class DecisionLog;
+
+struct SloReportInputs {
+  std::string title = "SLO report";
+  SimTime sla = 0;
+  /// End-to-end response-time sketch in microseconds (nullable).
+  const QuantileSketch* latency = nullptr;
+  const SloMonitor* monitor = nullptr;          ///< nullable
+  const BudgetAttributor* attribution = nullptr;  ///< nullable
+  const DecisionLog* decisions = nullptr;       ///< nullable
+  /// Entity name carrying the end-to-end SLO in the monitor.
+  std::string e2e_entity = "e2e";
+};
+
+/// Plain-text report (fixed-width tables).
+void write_slo_report_text(const SloReportInputs& in, std::ostream& os);
+
+/// Self-contained HTML report.
+void write_slo_report_html(const SloReportInputs& in, std::ostream& os);
+
+}  // namespace sora::obs

@@ -68,6 +68,7 @@ void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
     Trace done = std::move(open.trace);
     open_.erase(it);
     ++traces_completed_;
+    if (trace_finalizer_) trace_finalizer_(done);
     for (const auto& listener : trace_listeners_) listener(done);
   }
 }

@@ -44,6 +44,13 @@ class Tracer {
   void add_trace_listener(TraceListener cb) {
     trace_listeners_.push_back(std::move(cb));
   }
+  /// Install a finalizer that may mutate the assembled trace after the root
+  /// span closes but before any trace listener runs (used to stamp the
+  /// latency-budget annotations so the warehouse stores annotated spans).
+  /// Pass nullptr to clear.
+  void set_trace_finalizer(std::function<void(Trace&)> fn) {
+    trace_finalizer_ = std::move(fn);
+  }
   void add_span_listener(SpanListener cb) {
     span_listeners_.push_back(std::move(cb));
   }
@@ -63,6 +70,7 @@ class Tracer {
   IdGenerator<TraceId> trace_ids_;
   IdGenerator<SpanId> span_ids_;
   std::unordered_map<std::uint64_t, OpenTrace> open_;
+  std::function<void(Trace&)> trace_finalizer_;
   std::vector<TraceListener> trace_listeners_;
   std::vector<SpanListener> span_listeners_;
   std::uint64_t traces_completed_ = 0;

@@ -14,7 +14,7 @@ namespace {
 TEST(LatencyHistogram, EmptyIsZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.percentile(50), kNoSampleTime);
   EXPECT_EQ(h.min(), 0);
   EXPECT_EQ(h.max(), 0);
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
@@ -103,7 +103,7 @@ TEST(LatencyHistogram, Reset) {
   h.record(123456);
   h.reset();
   EXPECT_EQ(h.count(), 0u);
-  EXPECT_EQ(h.percentile(99), 0);
+  EXPECT_EQ(h.percentile(99), kNoSampleTime);
 }
 
 TEST(LatencyHistogram, LargeValues) {

@@ -11,15 +11,17 @@ TEST(LatencyRecorder, PercentilesExact) {
   LatencyRecorder rec(sim, msec(100));
   for (int i = 1; i <= 100; ++i) rec.record(msec(i));
   EXPECT_EQ(rec.count(), 100u);
-  EXPECT_NEAR(rec.percentile_ms(50), 50.5, 0.01);
-  EXPECT_NEAR(rec.percentile_ms(99), 99.01, 0.1);
+  // Percentiles come from the mergeable quantile sketch: exact up to the
+  // sketch's 1% relative-error bound, not to machine precision.
+  EXPECT_NEAR(rec.percentile_ms(50), 50.0, 50.0 * 0.011);
+  EXPECT_NEAR(rec.percentile_ms(99), 99.0, 99.0 * 0.011);
   EXPECT_NEAR(rec.mean_ms(), 50.5, 0.01);
 }
 
 TEST(LatencyRecorder, EmptyIsZero) {
   Simulator sim;
   LatencyRecorder rec(sim, msec(100));
-  EXPECT_DOUBLE_EQ(rec.percentile_ms(99), 0.0);
+  EXPECT_TRUE(is_no_sample(rec.percentile_ms(99)));
   EXPECT_DOUBLE_EQ(rec.average_goodput(), 0.0);
   EXPECT_DOUBLE_EQ(rec.good_fraction(), 0.0);
 }

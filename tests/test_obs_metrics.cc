@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "common/stats.h"
+
 namespace sora::obs {
 namespace {
 
@@ -45,6 +47,15 @@ TEST(MetricsRegistry, HistogramSummaries) {
   EXPECT_GT(h.mean(), 0.0);
   EXPECT_LE(h.percentile(50.0), h.percentile(99.0));
   EXPECT_GE(h.max(), 10000.0);
+}
+
+TEST(MetricsRegistry, HistogramPercentileSentinelWhenEmpty) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("rt_us");
+  EXPECT_TRUE(is_no_sample(h.percentile(50.0)));
+  EXPECT_TRUE(is_no_sample(h.percentile(99.0)));
+  h.observe(1234.0);
+  EXPECT_FALSE(is_no_sample(h.percentile(99.0)));
 }
 
 TEST(MetricsRegistry, HandlesAreStableAndSharedPerSeries) {

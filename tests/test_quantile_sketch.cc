@@ -1,0 +1,228 @@
+// Tests for the mergeable DDSketch-style quantile sketch: relative-error
+// bound against exact order statistics on several distributions, merge
+// semantics (commutativity, sharded == unsharded), bounded memory, and the
+// empty-sketch sentinel.
+#include "obs/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace sora::obs {
+namespace {
+
+// Exact order statistic at the sketch's rank convention:
+// rank = round(p/100 * (n-1)).
+double exact_at(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(rank, xs.size() - 1)];
+}
+
+// Assert sketch percentiles sit within the relative-error bound of the exact
+// order statistic for a spread of p.
+void expect_within_bound(const QuantileSketch& sk,
+                         const std::vector<double>& xs, double slack = 1.001) {
+  for (double p : {1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9}) {
+    const double exact = exact_at(xs, p);
+    const double got = sk.percentile(p);
+    EXPECT_NEAR(got, exact, std::abs(exact) * sk.relative_accuracy() * slack)
+        << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, EmptyReturnsSentinel) {
+  QuantileSketch sk;
+  EXPECT_TRUE(sk.empty());
+  EXPECT_EQ(sk.count(), 0u);
+  EXPECT_TRUE(is_no_sample(sk.percentile(50)));
+  EXPECT_TRUE(is_no_sample(sk.percentile(0)));
+  EXPECT_TRUE(is_no_sample(sk.percentile(100)));
+}
+
+TEST(QuantileSketch, SingleValue) {
+  QuantileSketch sk;
+  sk.record(42.0);
+  EXPECT_EQ(sk.count(), 1u);
+  // min/max clamping makes a single value exact.
+  EXPECT_DOUBLE_EQ(sk.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(sk.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(sk.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(sk.min(), 42.0);
+  EXPECT_DOUBLE_EQ(sk.max(), 42.0);
+  EXPECT_DOUBLE_EQ(sk.mean(), 42.0);
+}
+
+TEST(QuantileSketch, UniformWithinRelativeErrorBound) {
+  Rng rng(7);
+  std::vector<double> xs;
+  QuantileSketch sk(0.01);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(1.0, 1000.0);
+    xs.push_back(v);
+    sk.record(v);
+  }
+  expect_within_bound(sk, xs);
+}
+
+TEST(QuantileSketch, LognormalWithinRelativeErrorBound) {
+  Rng rng(11);
+  std::vector<double> xs;
+  QuantileSketch sk(0.01);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.lognormal_mean_cv(50.0, 1.5);
+    xs.push_back(v);
+    sk.record(v);
+  }
+  expect_within_bound(sk, xs);
+}
+
+TEST(QuantileSketch, BimodalWithinRelativeErrorBound) {
+  // Two well-separated modes (fast path ~10, slow path ~500) — the shape
+  // where interpolation-based percentiles mislead but order statistics and
+  // the sketch agree.
+  Rng rng(13);
+  std::vector<double> xs;
+  QuantileSketch sk(0.01);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.uniform() < 0.8 ? rng.uniform(8.0, 12.0)
+                                         : rng.uniform(450.0, 550.0);
+    xs.push_back(v);
+    sk.record(v);
+  }
+  expect_within_bound(sk, xs);
+}
+
+TEST(QuantileSketch, MonotoneInP) {
+  Rng rng(17);
+  QuantileSketch sk;
+  for (int i = 0; i < 5000; ++i) sk.record(rng.exponential(100.0));
+  double prev = sk.percentile(0);
+  for (double p = 1; p <= 100; p += 1) {
+    const double cur = sk.percentile(p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(QuantileSketch, MemoryIndependentOfSampleCount) {
+  Rng rng(19);
+  QuantileSketch sk(0.01);
+  std::size_t buckets_at_10k = 0;
+  for (int i = 0; i < 1000000; ++i) {
+    sk.record(rng.lognormal_mean_cv(80.0, 1.0));
+    if (i == 9999) buckets_at_10k = sk.num_buckets();
+  }
+  EXPECT_EQ(sk.count(), 1000000u);
+  // 100x more samples must not grow the footprint beyond the value range's
+  // bucket grid: the only growth allowed is the slightly wider extremes of
+  // the larger sample, not anything proportional to the count.
+  EXPECT_LE(sk.num_buckets(), buckets_at_10k + 128);
+  EXPECT_LE(sk.num_buckets(), sk.max_buckets());
+}
+
+TEST(QuantileSketch, BucketCapCollapsesLowEndOnly) {
+  QuantileSketch sk(0.01, 512);
+  // Values across 12 orders of magnitude need ~1400 natural buckets at 1%
+  // accuracy, forcing the low-end collapse.
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = std::pow(10.0, rng.uniform(-3.0, 9.0));
+    xs.push_back(v);
+    sk.record(v);
+  }
+  EXPECT_LE(sk.num_buckets(), 512u + 1u);  // +1 for the zero bucket
+  // Tail percentiles (what SLO monitoring reads) stay within bound even
+  // though the low end collapsed.
+  for (double p : {90.0, 95.0, 99.0, 99.9}) {
+    const double exact = exact_at(xs, p);
+    EXPECT_NEAR(sk.percentile(p), exact, exact * 0.011) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, MergeIsCommutative) {
+  Rng rng(29);
+  QuantileSketch a(0.01), b(0.01);
+  for (int i = 0; i < 3000; ++i) a.record(rng.uniform(1.0, 100.0));
+  for (int i = 0; i < 3000; ++i) b.record(rng.exponential(40.0));
+
+  QuantileSketch ab(a);
+  ab.merge(b);
+  QuantileSketch ba(b);
+  ba.merge(a);
+
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_DOUBLE_EQ(ab.sum(), ba.sum());
+  for (double p : {1.0, 50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(ab.percentile(p), ba.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, ShardedEqualsUnsharded) {
+  // Record one stream into a single sketch and round-robin the same stream
+  // into 8 shards; the merged shards must answer identically.
+  Rng rng(31);
+  QuantileSketch whole(0.01);
+  std::vector<QuantileSketch> shards(8, QuantileSketch(0.01));
+  for (int i = 0; i < 40000; ++i) {
+    const double v = rng.lognormal_mean_cv(60.0, 2.0);
+    whole.record(v);
+    shards[static_cast<std::size_t>(i) % shards.size()].record(v);
+  }
+  QuantileSketch merged(0.01);
+  for (const QuantileSketch& s : shards) merged.merge(s);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  for (double p = 0; p <= 100; p += 5) {
+    EXPECT_DOUBLE_EQ(merged.percentile(p), whole.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, CountAtOrBelow) {
+  QuantileSketch sk(0.01);
+  for (int i = 1; i <= 100; ++i) sk.record(static_cast<double>(i));
+  EXPECT_EQ(sk.count_at_or_below(0.5), 0u);
+  EXPECT_EQ(sk.count_at_or_below(1000.0), 100u);
+  const std::uint64_t half = sk.count_at_or_below(50.0);
+  EXPECT_NEAR(static_cast<double>(half), 50.0, 2.0);
+}
+
+TEST(QuantileSketch, ResetClears) {
+  QuantileSketch sk;
+  sk.record(5.0);
+  sk.reset();
+  EXPECT_TRUE(sk.empty());
+  EXPECT_EQ(sk.num_buckets(), 0u);
+  EXPECT_TRUE(is_no_sample(sk.percentile(50)));
+}
+
+TEST(QuantileSketch, NegativeAndZeroLandInZeroBucket) {
+  QuantileSketch sk;
+  sk.record(-3.0);
+  sk.record(0.0);
+  sk.record(10.0);
+  EXPECT_EQ(sk.count(), 3u);
+  EXPECT_DOUBLE_EQ(sk.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(sk.percentile(100), 10.0);
+}
+
+TEST(QuantileSketch, WeightedRecord) {
+  QuantileSketch sk;
+  sk.record(10.0, 99);
+  sk.record(100.0, 1);
+  EXPECT_EQ(sk.count(), 100u);
+  EXPECT_NEAR(sk.percentile(50), 10.0, 10.0 * 0.011);
+  EXPECT_NEAR(sk.percentile(100), 100.0, 100.0 * 0.011);
+}
+
+}  // namespace
+}  // namespace sora::obs

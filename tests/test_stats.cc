@@ -87,7 +87,10 @@ TEST(Stats, PercentileUnsortedInput) {
 }
 
 TEST(Stats, PercentileEdgeCases) {
-  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{}, 50.0), 0.0);
+  // An empty sample has no percentile: the sentinel (NaN) is returned so
+  // callers can't mistake "no data" for "p == 0".
+  EXPECT_TRUE(is_no_sample(percentile(std::vector<double>{}, 50.0)));
+  EXPECT_TRUE(is_no_sample(percentile_sorted(std::vector<double>{}, 99.0)));
   EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 99.0), 7.0);
   // Out-of-range p clamps.
   std::vector<double> xs{1, 2};
