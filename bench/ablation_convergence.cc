@@ -9,6 +9,7 @@
 
 #include "core/hillclimb.h"
 #include "core/sora.h"
+#include "harness/sweep.h"
 
 namespace sora::bench {
 namespace {
@@ -83,9 +84,13 @@ int main_impl() {
                "Paper Section 3.1: heuristic step-by-step tuners converge "
                "too slowly for bursty workloads");
 
-  const ConvergenceResult none = run(Tuner::kNone, 23);
-  const ConvergenceResult sora = run(Tuner::kSora, 23);
-  const ConvergenceResult climb = run(Tuner::kHillClimb, 23);
+  const std::vector<Tuner> tuners = {Tuner::kNone, Tuner::kSora,
+                                     Tuner::kHillClimb};
+  const auto results =
+      SweepRunner().map(tuners, [](Tuner t) { return run(t, 23); });
+  const ConvergenceResult& none = results[0];
+  const ConvergenceResult& sora = results[1];
+  const ConvergenceResult& climb = results[2];
 
   // Reference: the best goodput any variant sustains.
   double target = 0.0;

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 
 #include "core/sora.h"
+#include "harness/sweep.h"
 
 namespace sora::bench {
 namespace {
@@ -54,11 +55,20 @@ int main_impl() {
                "Propagated thresholds keep the knee honest when upstream "
                "services consume part of the latency budget");
 
-  const Result with = run(true, msec(50), 17);
+  struct Variant {
+    bool propagation;
+    SimTime fixed_rtt;
+  };
   // Without propagation, the threshold stays at whatever static default the
   // operator guessed. Evaluate a loose and a tight guess.
-  const Result loose = run(false, msec(250), 17);
-  const Result tight = run(false, msec(5), 17);
+  const std::vector<Variant> variants = {
+      {true, msec(50)}, {false, msec(250)}, {false, msec(5)}};
+  const auto results = SweepRunner().map(variants, [](const Variant& v) {
+    return run(v.propagation, v.fixed_rtt, 17);
+  });
+  const Result& with = results[0];
+  const Result& loose = results[1];
+  const Result& tight = results[2];
 
   TextTable t({"variant", "final RTT [ms]", "final threads",
                "goodput [req/s]", "p99 [ms]"});

@@ -8,6 +8,7 @@
 
 #include "core/estimator.h"
 #include "core/scg_model.h"
+#include "harness/sweep.h"
 
 namespace sora::bench {
 namespace {
@@ -40,13 +41,21 @@ int main_impl() {
   const auto scatter = collect_scatter(13);
   std::cout << "scatter: " << scatter.size() << " samples\n\n";
 
-  TextTable t({"fixed degree", "valid", "recommended", "R^2", "note"});
-  for (int degree = 1; degree <= 12; ++degree) {
+  // Each degree fit reads the shared scatter and builds its own model, so
+  // the fits parallelize like any other sweep.
+  SweepRunner runner;
+  constexpr int kMaxDegree = 12;
+  const auto fits = runner.map(kMaxDegree, [&](std::size_t i) {
     ScgOptions opts;
-    opts.min_degree = degree;
-    opts.max_degree = degree;
+    opts.min_degree = static_cast<int>(i) + 1;
+    opts.max_degree = static_cast<int>(i) + 1;
     ScgModel model(opts);
-    const auto est = model.estimate(scatter);
+    return model.estimate(scatter);
+  });
+
+  TextTable t({"fixed degree", "valid", "recommended", "R^2", "note"});
+  for (int degree = 1; degree <= kMaxDegree; ++degree) {
+    const auto& est = fits[degree - 1];
     t.add_row({fmt_count(static_cast<std::uint64_t>(degree)),
                est.valid ? "yes" : "no",
                est.valid ? fmt_count(static_cast<std::uint64_t>(est.recommended))
@@ -64,13 +73,17 @@ int main_impl() {
 
   // Kneedle sensitivity S sweep on the same data.
   std::cout << "\nKneedle sensitivity sweep:\n";
-  TextTable s({"sensitivity S", "valid", "recommended"});
-  for (double sens : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+  const std::vector<double> sensitivities = {0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+  const auto sens_fits = runner.map(sensitivities, [&](double sens) {
     ScgOptions opts;
     opts.kneedle.sensitivity = sens;
     ScgModel m(opts);
-    const auto e = m.estimate(scatter);
-    s.add_row({fmt(sens, 2), e.valid ? "yes" : "no",
+    return m.estimate(scatter);
+  });
+  TextTable s({"sensitivity S", "valid", "recommended"});
+  for (std::size_t i = 0; i < sensitivities.size(); ++i) {
+    const auto& e = sens_fits[i];
+    s.add_row({fmt(sensitivities[i], 2), e.valid ? "yes" : "no",
                e.valid ? fmt_count(static_cast<std::uint64_t>(e.recommended))
                        : "-"});
   }

@@ -15,6 +15,8 @@
 // shift.
 #include "bench_util.h"
 
+#include "harness/sweep.h"
+
 namespace sora::bench {
 namespace {
 
@@ -24,16 +26,36 @@ namespace {
 const std::vector<int> kThreadSizes = {2, 3, 5, 8, 12, 16, 24, 32, 64, 128, 200};
 const std::vector<int> kConnSizes = {1, 2, 3, 4, 6, 8, 12, 20, 32, 64};
 
-std::vector<SweepResult> cart_sweep(double cores, SimTime sla, int users,
-                                    std::uint64_t seed) {
-  CartSweepConfig cfg;
-  cfg.cart_cores = cores;
-  cfg.sla = sla;
-  cfg.users = users;
-  cfg.seed = seed;
-  std::vector<SweepResult> out;
-  for (int threads : kThreadSizes) {
-    out.push_back(run_cart_point(cfg, threads));
+struct CartPanel {
+  double cores;
+  SimTime sla;
+  int users;
+  std::uint64_t seed;
+};
+
+/// All cart panels at once: panels x kThreadSizes independent runs through
+/// one SweepRunner pass, sliced back into per-panel sweeps in order.
+std::vector<std::vector<SweepResult>> cart_sweeps(
+    const std::vector<CartPanel>& panels) {
+  struct Job {
+    CartSweepConfig cfg;
+    int threads;
+  };
+  std::vector<Job> jobs;
+  for (const CartPanel& p : panels) {
+    CartSweepConfig cfg;
+    cfg.cart_cores = p.cores;
+    cfg.sla = p.sla;
+    cfg.users = p.users;
+    cfg.seed = p.seed;
+    for (int threads : kThreadSizes) jobs.push_back(Job{cfg, threads});
+  }
+  const auto flat = SweepRunner().map(
+      jobs, [](const Job& j) { return run_cart_point(j.cfg, j.threads); });
+  std::vector<std::vector<SweepResult>> out(panels.size());
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    out[p].assign(flat.begin() + p * kThreadSizes.size(),
+                  flat.begin() + (p + 1) * kThreadSizes.size());
   }
   return out;
 }
@@ -72,10 +94,14 @@ int main_impl() {
   print_header("Figure 3: optimal soft-resource allocation shifts",
                "Paper: optima 30/80/10/5 threads (a-d), 10/30 connections (e-f)");
 
-  const auto a = cart_sweep(4.0, msec(250), 1900, 1);
-  const auto b = cart_sweep(4.0, msec(150), 1900, 1);
-  const auto c = cart_sweep(2.0, msec(250), 1000, 1);
-  const auto d = cart_sweep(2.0, msec(350), 1000, 1);
+  const auto cart = cart_sweeps({{4.0, msec(250), 1900, 1},
+                                 {4.0, msec(150), 1900, 1},
+                                 {2.0, msec(250), 1000, 1},
+                                 {2.0, msec(350), 1000, 1}});
+  const auto& a = cart[0];
+  const auto& b = cart[1];
+  const auto& c = cart[2];
+  const auto& d = cart[3];
 
   print_panel("(a) 4-core Cart, 250ms", "paper optimum: 30 threads", a);
   print_panel("(b) 4-core Cart, 150ms",
@@ -85,22 +111,22 @@ int main_impl() {
   print_panel("(d) 2-core Cart, 350ms",
               "paper optimum: 5 threads (shifts LOWER than (c))", d);
 
-  const auto e = [&] {
-    std::vector<SweepResult> out;
-    for (int conns : kConnSizes) {
-      out.push_back(run_post_storage_point(
-          conns, social_network::kReadTimelineLight, msec(250), 1500, 2));
-    }
-    return out;
-  }();
-  const auto f = [&] {
-    std::vector<SweepResult> out;
-    for (int conns : kConnSizes) {
-      out.push_back(run_post_storage_point(
-          conns, social_network::kReadTimelineHeavy, msec(250), 700, 2));
-    }
-    return out;
-  }();
+  // Panels (e) and (f) in one pass: light requests first, heavy second.
+  const auto post = SweepRunner().map(
+      kConnSizes.size() * 2, [](std::size_t i) {
+        const bool heavy = i >= kConnSizes.size();
+        const int conns = kConnSizes[i % kConnSizes.size()];
+        return heavy ? run_post_storage_point(
+                           conns, social_network::kReadTimelineHeavy, msec(250),
+                           700, 2)
+                     : run_post_storage_point(
+                           conns, social_network::kReadTimelineLight, msec(250),
+                           1500, 2);
+      });
+  const std::vector<SweepResult> e(post.begin(),
+                                   post.begin() + kConnSizes.size());
+  const std::vector<SweepResult> f(post.begin() + kConnSizes.size(),
+                                   post.end());
   print_panel("(e) Post Storage, light requests", "paper optimum: 10 connections", e);
   print_panel("(f) Post Storage, heavy requests",
               "paper optimum: 30 connections (shifts HIGHER than (e))", f);

@@ -12,6 +12,7 @@
 
 #include "core/estimator.h"
 #include "core/scg_model.h"
+#include "harness/sweep.h"
 
 namespace sora::bench {
 namespace {
@@ -116,9 +117,16 @@ int main_impl() {
   print_header("Figure 9: SCG estimation + validation on three soft resources",
                "Paper: the SCG recommendation beats adjacent allocations");
   int wins = 0, comparisons = 0;
-  for (const Case& c : make_cases()) {
+  SweepRunner runner;
+  const auto cases = make_cases();
+  // The three profiling runs are independent of each other; the validation
+  // grid depends on each profile's recommendation, so it fans out per case.
+  const auto estimates = runner.map(
+      cases, [](const Case& c) { return profile(c, 21); });
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
+    const ConcurrencyEstimate& est = estimates[ci];
     std::cout << "\n===== " << c.name << " =====\n" << c.paper << "\n";
-    const ConcurrencyEstimate est = profile(c, 21);
     if (!est.valid) {
       std::cout << "model estimation FAILED: " << est.failure << "\n";
       continue;
@@ -135,11 +143,18 @@ int main_impl() {
                  "pool=" + fmt_count(candidates[1]) + " (SCG)",
                  "pool=" + fmt_count(candidates[2]),
                  "pool=" + fmt_count(candidates[3]), "winner"});
-    for (int users : c.validation_users) {
-      std::vector<double> gps;
-      for (int pool : candidates) {
-        gps.push_back(validate_point(c, pool, users, 31));
-      }
+    // users x candidates grid in one pass, row-major like the table.
+    const auto grid = runner.map(
+        c.validation_users.size() * candidates.size(), [&](std::size_t i) {
+          const int users = c.validation_users[i / candidates.size()];
+          const int pool = candidates[i % candidates.size()];
+          return validate_point(c, pool, users, 31);
+        });
+    for (std::size_t ui = 0; ui < c.validation_users.size(); ++ui) {
+      const int users = c.validation_users[ui];
+      const std::vector<double> gps(
+          grid.begin() + ui * candidates.size(),
+          grid.begin() + (ui + 1) * candidates.size());
       std::size_t best = 0;
       for (std::size_t i = 1; i < gps.size(); ++i) {
         if (gps[i] > gps[best]) best = i;

@@ -1,0 +1,180 @@
+// Performance smoke benchmark — the repo's wall-clock trajectory anchor.
+//
+// Times the canonical 1-minute Sock Shop cart simulation (the building
+// block of every figure/table sweep) and reports engine throughput
+// (events/sec, wall-ms per sim-second), then measures the sweep-level
+// serial-vs-parallel speedup. Results are emitted as BENCH_sim.json so
+// future PRs can compare against a recorded baseline.
+//
+// Usage: perf_smoke [output.json]   (default: BENCH_sim.json in the CWD)
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
+#include "harness/sweep.h"
+#include "obs/json.h"
+
+namespace sora::bench {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double elapsed_sec(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+struct EngineResult {
+  std::uint64_t events = 0;
+  std::uint64_t cancelled = 0;
+  double wall_sec = 0.0;
+  double sim_sec = 0.0;
+  double events_per_sec = 0.0;
+  double wall_ms_per_sim_sec = 0.0;
+};
+
+/// The canonical single run: 1 minute of Sock Shop browse traffic against a
+/// 4-core cart with a fixed 12-thread pool (mid-sweep operating point).
+/// SORA_PERF_SMOKE_MINUTES lengthens the probe (profiling runs).
+EngineResult run_engine_probe() {
+  sock_shop::Params params;
+  params.cart_cores = 4.0;
+  params.cart_threads = 12;
+  ExperimentConfig ecfg;
+  int probe_minutes = 1;
+  if (const char* env = std::getenv("SORA_PERF_SMOKE_MINUTES")) {
+    probe_minutes = std::max(1, std::atoi(env));
+  }
+  ecfg.duration = minutes(probe_minutes);
+  ecfg.sla = msec(250);
+  ecfg.seed = 42;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  exp.closed_loop(600, sec(1), RequestMix(sock_shop::kBrowse));
+
+  const auto start = WallClock::now();
+  exp.run();
+  EngineResult r;
+  r.wall_sec = elapsed_sec(start);
+  r.events = exp.sim().events_executed();
+  r.cancelled = exp.sim().events_cancelled();
+  r.sim_sec = to_sec(exp.sim().now());
+  r.events_per_sec = r.wall_sec > 0 ? r.events / r.wall_sec : 0.0;
+  r.wall_ms_per_sim_sec =
+      r.sim_sec > 0 ? r.wall_sec * 1000.0 / r.sim_sec : 0.0;
+  return r;
+}
+
+/// One sweep unit: a short cart run at a thread-pool setting derived from
+/// the index. Returns the summary so the parity between serial and
+/// parallel execution is checked on real output, not just timing.
+ExperimentSummary run_sweep_point(std::size_t index) {
+  sock_shop::Params params;
+  params.cart_cores = 4.0;
+  params.cart_threads = 4 + static_cast<int>(index) * 4;
+  ExperimentConfig ecfg;
+  ecfg.duration = sec(20);
+  ecfg.sla = msec(250);
+  ecfg.seed = 1000 + index;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  exp.closed_loop(400, sec(1), RequestMix(sock_shop::kBrowse));
+  exp.run();
+  return exp.summary();
+}
+
+struct SweepResult {
+  std::size_t runs = 0;
+  double serial_sec = 0.0;
+  double parallel_sec = 0.0;
+  double speedup = 0.0;
+  int workers = 0;
+  bool identical = true;  ///< parallel summaries match serial bit-for-bit
+};
+
+bool same_sim_outputs(const ExperimentSummary& a, const ExperimentSummary& b) {
+  return a.injected == b.injected && a.completed == b.completed &&
+         a.mean_ms == b.mean_ms && a.p50_ms == b.p50_ms &&
+         a.p95_ms == b.p95_ms && a.p99_ms == b.p99_ms &&
+         a.goodput_rps == b.goodput_rps &&
+         a.throughput_rps == b.throughput_rps &&
+         a.good_fraction == b.good_fraction &&
+         a.slo_episodes == b.slo_episodes;
+}
+
+SweepResult run_sweep_probe() {
+  SweepResult r;
+  r.runs = 8;
+  r.workers = SweepRunner::default_worker_count();
+
+  auto serial_start = WallClock::now();
+  SweepRunner serial(1);
+  const auto serial_results =
+      serial.map(r.runs, [](std::size_t i) { return run_sweep_point(i); });
+  r.serial_sec = elapsed_sec(serial_start);
+
+  auto parallel_start = WallClock::now();
+  SweepRunner parallel(r.workers);
+  const auto parallel_results =
+      parallel.map(r.runs, [](std::size_t i) { return run_sweep_point(i); });
+  r.parallel_sec = elapsed_sec(parallel_start);
+
+  r.speedup = r.parallel_sec > 0 ? r.serial_sec / r.parallel_sec : 0.0;
+  for (std::size_t i = 0; i < r.runs; ++i) {
+    if (!same_sim_outputs(serial_results[i], parallel_results[i])) {
+      r.identical = false;
+    }
+  }
+  return r;
+}
+
+int main_impl(int argc, char** argv) {
+  print_header("perf_smoke: engine throughput + sweep speedup",
+               "Emits BENCH_sim.json (the repo's perf trajectory)");
+
+  const EngineResult engine = run_engine_probe();
+  std::cout << "engine probe (1-min cart sim):\n"
+            << "  events executed : " << engine.events << "\n"
+            << "  events cancelled: " << engine.cancelled << "\n"
+            << "  wall clock      : " << fmt(engine.wall_sec, 3) << " s\n"
+            << "  events/sec      : " << fmt(engine.events_per_sec / 1e6, 3)
+            << " M\n"
+            << "  wall ms / sim s : " << fmt(engine.wall_ms_per_sim_sec, 2)
+            << "\n";
+
+  const SweepResult sweep = run_sweep_probe();
+  std::cout << "\nsweep probe (" << sweep.runs << " independent 20-s runs, "
+            << sweep.workers << " worker(s)):\n"
+            << "  serial          : " << fmt(sweep.serial_sec, 3) << " s\n"
+            << "  parallel        : " << fmt(sweep.parallel_sec, 3) << " s\n"
+            << "  speedup         : " << fmt(sweep.speedup, 2) << "x\n"
+            << "  outputs match   : " << (sweep.identical ? "yes" : "NO")
+            << "\n";
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
+  std::ofstream os(out_path);
+  obs::JsonObject o;
+  o.field("bench", "perf_smoke");
+  o.field("engine_events", engine.events);
+  o.field("engine_events_cancelled", engine.cancelled);
+  o.field("engine_wall_sec", engine.wall_sec);
+  o.field("engine_events_per_sec", engine.events_per_sec);
+  o.field("engine_wall_ms_per_sim_sec", engine.wall_ms_per_sim_sec);
+  o.field("sweep_runs", static_cast<std::uint64_t>(sweep.runs));
+  o.field("sweep_workers", static_cast<std::uint64_t>(sweep.workers));
+  o.field("sweep_serial_sec", sweep.serial_sec);
+  o.field("sweep_parallel_sec", sweep.parallel_sec);
+  o.field("sweep_speedup", sweep.speedup);
+  o.field("sweep_outputs_match", sweep.identical);
+  o.field("host_hardware_concurrency",
+          static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  os << o << "\n";
+  std::cout << "\nwrote " << out_path << "\n";
+  return sweep.identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main(int argc, char** argv) { return sora::bench::main_impl(argc, argv); }

@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "core/estimator.h"
 #include "core/scg_model.h"
+#include "harness/sweep.h"
 
 namespace sora::bench {
 namespace {
@@ -126,41 +127,45 @@ int estimate_once(const Target& t, SimTime interval, std::uint64_t seed) {
   return e.valid ? e.recommended : 0;
 }
 
-/// Ground truth: goodput-argmax over a pool-size sweep at the service-level
-/// threshold (measured client-side at the SLA that corresponds).
-int ground_truth(const Target& t) {
-  // Use the SCG estimate at the paper-best interval averaged over seeds as
-  // the reference sweep seed list is expensive; instead sweep actual pool
-  // sizes and pick the goodput argmax, which is the definition of optimal.
-  const std::vector<int> sizes = {2, 4, 6, 8, 12, 16, 24};
-  int best = sizes.front();
-  double best_gp = -1.0;
-  for (int size : sizes) {
-    ApplicationConfig cfg = t.make_app();
-    t.set_pool(cfg, size);
-    ExperimentConfig ecfg;
-    ecfg.duration = kDuration;
-    ecfg.seed = 99;
-    ecfg.sla = t.rtt;  // client-side SLA not used for truth; see below
-    Experiment exp(std::move(cfg), ecfg);
-    const WorkloadTrace trace(TraceShape::kLargeVariation, kDuration,
-                              t.users * 0.3, t.users);
-    auto& users =
-        exp.closed_loop(t.users / 3, sec(1), RequestMix(t.request_class));
-    users.follow_trace(trace);
+/// Pool sizes swept for the ground-truth goodput argmax.
+const std::vector<int> kTruthSizes = {2, 4, 6, 8, 12, 16, 24};
 
-    // Measure goodput at the *service* level with the same threshold the
-    // SCG model uses, via a sampler on the knob.
-    ConcurrencyEstimator est(exp.sim(), exp.tracer());
-    const ResourceKnob knob = t.make_knob(exp.app());
-    est.watch(knob);
-    est.set_rt_threshold(knob, t.rtt);
-    exp.run();
-    double gp = 0.0;
-    for (const auto& p : est.sampler(knob)->points()) gp += p.goodput;
-    if (gp > best_gp) {
-      best_gp = gp;
-      best = size;
+/// Service-level goodput of one fixed pool size (one cell of the
+/// ground-truth sweep), measured with the same threshold the SCG model
+/// uses, via a sampler on the knob.
+double ground_truth_goodput(const Target& t, int size) {
+  ApplicationConfig cfg = t.make_app();
+  t.set_pool(cfg, size);
+  ExperimentConfig ecfg;
+  ecfg.duration = kDuration;
+  ecfg.seed = 99;
+  ecfg.sla = t.rtt;  // client-side SLA not used for truth; see below
+  Experiment exp(std::move(cfg), ecfg);
+  const WorkloadTrace trace(TraceShape::kLargeVariation, kDuration,
+                            t.users * 0.3, t.users);
+  auto& users =
+      exp.closed_loop(t.users / 3, sec(1), RequestMix(t.request_class));
+  users.follow_trace(trace);
+
+  ConcurrencyEstimator est(exp.sim(), exp.tracer());
+  const ResourceKnob knob = t.make_knob(exp.app());
+  est.watch(knob);
+  est.set_rt_threshold(knob, t.rtt);
+  exp.run();
+  double gp = 0.0;
+  for (const auto& p : est.sampler(knob)->points()) gp += p.goodput;
+  return gp;
+}
+
+/// Ground truth: goodput-argmax over the pool-size goodputs (first
+/// maximum wins, matching an in-order serial sweep).
+int ground_truth(const std::vector<double>& goodputs) {
+  int best = kTruthSizes.front();
+  double best_gp = -1.0;
+  for (std::size_t i = 0; i < kTruthSizes.size(); ++i) {
+    if (goodputs[i] > best_gp) {
+      best_gp = goodputs[i];
+      best = kTruthSizes[i];
     }
   }
   return best;
@@ -175,17 +180,37 @@ int main_impl() {
   TextTable table({"Sampling Interval", "Cart", "Catalogue", "Post Storage"});
   std::vector<std::vector<double>> mape_by_interval(kIntervals.size());
 
-  for (auto& t : targets) {
-    t.truth = ground_truth(t);
+  SweepRunner runner;
+  // Ground truth: targets x pool sizes, flattened into one parallel pass.
+  const auto truth_gps = runner.map(
+      targets.size() * kTruthSizes.size(), [&](std::size_t i) {
+        const Target& t = targets[i / kTruthSizes.size()];
+        return ground_truth_goodput(t, kTruthSizes[i % kTruthSizes.size()]);
+      });
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    auto& t = targets[ti];
+    t.truth = ground_truth(
+        {truth_gps.begin() + ti * kTruthSizes.size(),
+         truth_gps.begin() + (ti + 1) * kTruthSizes.size()});
     std::cout << "ground-truth optimum for " << t.name << ": " << t.truth
               << "\n";
   }
 
+  // Estimates: intervals x targets x seeds, flattened row-major.
+  const std::size_t per_cell = kSeeds.size();
+  const std::size_t per_interval = targets.size() * per_cell;
+  const auto estimates = runner.map(
+      kIntervals.size() * per_interval, [&](std::size_t i) {
+        const Target& t = targets[(i % per_interval) / per_cell];
+        return estimate_once(t, kIntervals[i / per_interval],
+                             kSeeds[i % per_cell]);
+      });
   for (std::size_t ii = 0; ii < kIntervals.size(); ++ii) {
-    for (const auto& t : targets) {
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      const Target& t = targets[ti];
       std::vector<double> actual, predicted;
-      for (std::uint64_t seed : kSeeds) {
-        const int est = estimate_once(t, kIntervals[ii], seed);
+      for (std::size_t si = 0; si < kSeeds.size(); ++si) {
+        const int est = estimates[ii * per_interval + ti * per_cell + si];
         actual.push_back(static_cast<double>(t.truth));
         predicted.push_back(static_cast<double>(est));
       }

@@ -5,6 +5,8 @@
 // every trace.
 #include "bench_util.h"
 
+#include "harness/sweep.h"
+
 namespace sora::bench {
 namespace {
 
@@ -17,6 +19,9 @@ int main_impl() {
   double p99_ratio_sum = 0.0;
   int wins = 0;
 
+  // All 12 runs (FIRM + Sora per trace) are independent; fan them out and
+  // read the results back pairwise in trace order.
+  std::vector<CartTraceConfig> configs;
   for (TraceShape shape : all_trace_shapes()) {
     CartTraceConfig cfg;
     cfg.shape = shape;
@@ -25,9 +30,18 @@ int main_impl() {
     cfg.base_users = 600;
     cfg.peak_users = 2400;
     cfg.adaptation = SoftAdaptation::kNone;
-    const auto firm = run_cart_trace(cfg);
+    configs.push_back(cfg);
     cfg.adaptation = SoftAdaptation::kSora;
-    const auto sora = run_cart_trace(cfg);
+    configs.push_back(cfg);
+  }
+  const auto results = SweepRunner().map(
+      configs, [](const CartTraceConfig& cfg) { return run_cart_trace(cfg); });
+
+  const auto shapes = all_trace_shapes();
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const TraceShape shape = shapes[i];
+    const auto& firm = results[2 * i];
+    const auto& sora = results[2 * i + 1];
 
     const bool win = sora.summary.p99_ms < firm.summary.p99_ms &&
                      sora.summary.goodput_rps > firm.summary.goodput_rps;

@@ -7,6 +7,8 @@
 
 #include "bench_util.h"
 
+#include "harness/sweep.h"
+
 namespace sora::bench {
 namespace {
 
@@ -17,12 +19,10 @@ int main_impl() {
   const std::vector<SimTime> slas = {msec(250), msec(500)};
   int wins = 0, cells = 0;
 
+  // 2 SLAs x 6 traces x {ConScale, Sora} = 24 independent runs; fan them
+  // all out at once and read them back in enumeration order.
+  std::vector<CartTraceConfig> configs;
   for (SimTime sla : slas) {
-    std::cout << "\nSLA threshold " << to_msec(sla) << "ms:\n";
-    TextTable t({"system", "Large Variation", "Quick Varying", "Slowly Varying",
-                 "Big Spike", "Dual Phase", "SteepTri Phase"});
-    std::vector<std::string> conscale_row, sora_row;
-    std::vector<double> conscale_gp, sora_gp;
     for (TraceShape shape : all_trace_shapes()) {
       CartTraceConfig cfg;
       cfg.shape = shape;
@@ -33,11 +33,25 @@ int main_impl() {
       cfg.peak_users = 420;
       cfg.scaler = HardwareScaler::kVpa;
       cfg.max_cores = 6.0;
-
       cfg.adaptation = SoftAdaptation::kConScale;
-      const auto conscale = run_cart_trace(cfg);
+      configs.push_back(cfg);
       cfg.adaptation = SoftAdaptation::kSora;
-      const auto sora = run_cart_trace(cfg);
+      configs.push_back(cfg);
+    }
+  }
+  const auto results = SweepRunner().map(
+      configs, [](const CartTraceConfig& cfg) { return run_cart_trace(cfg); });
+
+  std::size_t next = 0;
+  for (SimTime sla : slas) {
+    std::cout << "\nSLA threshold " << to_msec(sla) << "ms:\n";
+    TextTable t({"system", "Large Variation", "Quick Varying", "Slowly Varying",
+                 "Big Spike", "Dual Phase", "SteepTri Phase"});
+    std::vector<std::string> conscale_row, sora_row;
+    std::vector<double> conscale_gp, sora_gp;
+    for ([[maybe_unused]] TraceShape shape : all_trace_shapes()) {
+      const auto& conscale = results[next++];
+      const auto& sora = results[next++];
 
       conscale_gp.push_back(conscale.summary.goodput_rps);
       sora_gp.push_back(sora.summary.goodput_rps);

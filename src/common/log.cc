@@ -1,7 +1,10 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <string>
 
 namespace sora {
 
@@ -21,9 +24,10 @@ LogLevel level_from_env() {
   return LogLevel::kWarn;
 }
 
-LogLevel g_level = level_from_env();
-const void* g_clock_ctx = nullptr;
-LogClockFn g_clock_fn = nullptr;
+std::atomic<LogLevel> g_level = level_from_env();
+// Thread-local: one simulator clock per sweep-worker thread.
+thread_local const void* t_clock_ctx = nullptr;
+thread_local LogClockFn t_clock_fn = nullptr;
 
 std::string_view level_name(LogLevel level) {
   switch (level) {
@@ -42,38 +46,50 @@ std::string_view level_name(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void set_log_clock(const void* ctx, LogClockFn fn) {
-  g_clock_ctx = ctx;
-  g_clock_fn = fn;
+  t_clock_ctx = ctx;
+  t_clock_fn = fn;
 }
 
 void clear_log_clock(const void* ctx) {
-  if (g_clock_ctx == ctx) {
-    g_clock_ctx = nullptr;
-    g_clock_fn = nullptr;
+  if (t_clock_ctx == ctx) {
+    t_clock_ctx = nullptr;
+    t_clock_fn = nullptr;
   }
 }
 
 bool log_clock_now(SimTime* out) {
-  if (g_clock_fn == nullptr) return false;
-  *out = g_clock_fn(g_clock_ctx);
+  if (t_clock_fn == nullptr) return false;
+  *out = t_clock_fn(t_clock_ctx);
   return true;
 }
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  // Compose the whole line first and emit it with a single write so lines
+  // from concurrent sweep workers never interleave mid-line.
+  std::string line;
+  line.reserve(msg.size() + 24);
+  line += '[';
+  line += level_name(level);
   SimTime now = 0;
   if (log_clock_now(&now)) {
     char stamp[32];
     std::snprintf(stamp, sizeof(stamp), " %.3fs", to_sec(now));
-    std::cerr << "[" << level_name(level) << stamp << "] " << msg << '\n';
-  } else {
-    std::cerr << "[" << level_name(level) << "] " << msg << '\n';
+    line += stamp;
   }
+  line += "] ";
+  line += msg;
+  line += '\n';
+  // std::cerr (not raw stderr) so tests and embedders can redirect rdbuf.
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
+  std::cerr.flush();
 }
 }  // namespace detail
 

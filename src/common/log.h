@@ -23,14 +23,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Install a sim-time source for log timestamps. `ctx` identifies the owner
-/// (the Simulator registers itself on construction); clear_log_clock(ctx) is
-/// a no-op if a different owner has since installed its own clock, so
+/// Install a sim-time source for log timestamps. The registration slot is
+/// thread-local: each thread sees the clock of the Simulator running on it,
+/// so concurrent sweep workers (harness::SweepRunner) never clobber each
+/// other's timestamps. `ctx` identifies the owner (the Simulator registers
+/// itself on construction); clear_log_clock(ctx) is a no-op if a different
+/// owner has since installed its own clock on the same thread, so
 /// short-lived simulators never tear down a longer-lived one's clock.
 using LogClockFn = SimTime (*)(const void* ctx);
 void set_log_clock(const void* ctx, LogClockFn fn);
 void clear_log_clock(const void* ctx);
-/// Current log timestamp; false when no clock is installed.
+/// Current log timestamp on this thread; false when no clock is installed.
 bool log_clock_now(SimTime* out);
 
 namespace detail {

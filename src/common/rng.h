@@ -111,6 +111,12 @@ class Rng {
     return v <= 0.0 ? 0 : static_cast<std::uint64_t>(v + 0.5);
   }
 
+  /// Lognormal with precomputed parameters (see LognormalSampler): one exp
+  /// plus a normal draw per sample, no per-sample log/sqrt.
+  double lognormal_musigma(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
   /// Bounded Pareto on [lo, hi] with shape alpha (heavy-tailed demands).
   double bounded_pareto(double alpha, double lo, double hi) {
     const double u = uniform();
@@ -127,6 +133,31 @@ class Rng {
   std::uint64_t state_[4] = {};
   bool have_spare_ = false;
   double spare_ = 0.0;
+};
+
+/// Precomputed lognormal(mean, cv) parameters for hot sampling loops.
+/// sample(rng) draws the exact same value lognormal_mean_cv(mean, cv) would
+/// (identical expression tree), but the two logs and the sqrt are paid once
+/// here instead of per sample.
+struct LognormalSampler {
+  double mean = 0.0;
+  double mu = 0.0;
+  double sigma = 0.0;
+  bool degenerate = true;  ///< cv <= 0: sample() returns mean exactly.
+
+  LognormalSampler() = default;
+  LognormalSampler(double mean_in, double cv) : mean(mean_in) {
+    if (cv > 0.0) {
+      const double sigma2 = std::log(1.0 + cv * cv);
+      mu = std::log(mean) - 0.5 * sigma2;
+      sigma = std::sqrt(sigma2);
+      degenerate = false;
+    }
+  }
+
+  double sample(Rng& rng) const {
+    return degenerate ? mean : rng.lognormal_musigma(mu, sigma);
+  }
 };
 
 }  // namespace sora

@@ -11,6 +11,7 @@ OverheadProfiler& OverheadProfiler::global() {
 }
 
 void OverheadProfiler::record(const char* stage, double us) {
+  const std::lock_guard<std::mutex> lock(mu_);
   StageStats& s = stages_[stage];
   if (s.stage.empty()) s.stage = stage;
   ++s.calls;
@@ -19,6 +20,7 @@ void OverheadProfiler::record(const char* stage, double us) {
 }
 
 std::vector<StageStats> OverheadProfiler::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<StageStats> out;
   out.reserve(stages_.size());
   for (const auto& [_, s] : stages_) out.push_back(s);
@@ -27,6 +29,7 @@ std::vector<StageStats> OverheadProfiler::stats() const {
 
 std::vector<StageStats> OverheadProfiler::stats_since(
     const std::vector<StageStats>& baseline) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<StageStats> out;
   for (const auto& [name, s] : stages_) {
     StageStats delta = s;
@@ -52,7 +55,10 @@ double OverheadProfiler::total_us(const std::vector<StageStats>& stats,
   return total;
 }
 
-void OverheadProfiler::reset() { stages_.clear(); }
+void OverheadProfiler::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stages_.clear();
+}
 
 void OverheadProfiler::print(const std::vector<StageStats>& stats,
                              std::ostream& os) {

@@ -8,15 +8,22 @@
 // durations. Simulation results are unaffected: the profiler measures host
 // time and never feeds back into sim time.
 //
-// A process-global instance keeps the hot control path free of plumbing;
-// the simulator is single-threaded by design, so no synchronization is
-// needed. Harness consumers (ExperimentSummary, bench/micro_model_cost)
-// snapshot-and-diff around the region they attribute.
+// A process-global instance keeps the hot control path free of plumbing.
+// Each Simulator is single-threaded, but independent experiments may run
+// concurrently on sweep-worker threads (harness::SweepRunner), so the
+// per-stage accumulators are guarded by a mutex — contention is negligible
+// because stages fire at control-round granularity, not per event. Harness
+// consumers (ExperimentSummary, bench/micro_model_cost) snapshot-and-diff
+// around the region they attribute; note that under a parallel sweep the
+// global profiler aggregates stages from all concurrently running
+// experiments, so per-experiment deltas are attributable only in serial
+// runs.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -80,6 +87,7 @@ class OverheadProfiler {
   static void print(const std::vector<StageStats>& stats, std::ostream& os);
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, StageStats> stages_;
 };
 

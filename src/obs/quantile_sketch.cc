@@ -11,6 +11,31 @@ namespace {
 // (well under a nanosecond in the repo's microsecond convention) and go to
 // the zero bucket; keeps the key range finite.
 constexpr double kMinIndexable = 1e-9;
+
+constexpr double kLn2 = 0.69314718055994530942;
+constexpr double kSqrtHalf = 0.70710678118654752440;
+
+// ln(v) without a libm call: frexp splits v into m * 2^e, the mantissa is
+// centered into [sqrt(1/2), sqrt(2)) and ln(m) evaluated by the atanh
+// series 2s(1 + s^2/3 + ...), s = (m-1)/(m+1). |s| <= 0.172 so the s^9
+// term bounds the truncation error near 1e-9 — orders of magnitude inside
+// the sketch's relative-accuracy budget, and record() is the hottest
+// observability call in the simulator (every span and every trace).
+inline double fast_ln(double v) {
+  int e;
+  double m = std::frexp(v, &e);  // m in [0.5, 1)
+  if (m < kSqrtHalf) {
+    m *= 2.0;
+    --e;
+  }
+  const double s = (m - 1.0) / (m + 1.0);
+  const double s2 = s * s;
+  const double ln_m =
+      2.0 * s *
+      (1.0 + s2 * (1.0 / 3.0 +
+                   s2 * (1.0 / 5.0 + s2 * (1.0 / 7.0 + s2 * (1.0 / 9.0)))));
+  return static_cast<double>(e) * kLn2 + ln_m;
+}
 }  // namespace
 
 QuantileSketch::QuantileSketch(double relative_accuracy,
@@ -18,6 +43,7 @@ QuantileSketch::QuantileSketch(double relative_accuracy,
     : alpha_(relative_accuracy),
       gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
       log_gamma_(std::log(gamma_)),
+      inv_log_gamma_(1.0 / log_gamma_),
       max_buckets_(std::max<std::size_t>(max_buckets, 8)) {
   assert(relative_accuracy > 0.0 && relative_accuracy < 1.0);
 }
@@ -25,11 +51,28 @@ QuantileSketch::QuantileSketch(double relative_accuracy,
 int QuantileSketch::key_for(double value) const {
   // Bucket key k covers (gamma^(k-1), gamma^k]; any value there is within
   // alpha of the representative 2*gamma^k / (gamma + 1).
-  return static_cast<int>(std::ceil(std::log(value) / log_gamma_));
+  return static_cast<int>(std::ceil(fast_ln(value) * inv_log_gamma_));
 }
 
 double QuantileSketch::representative(int key) const {
   return 2.0 * std::pow(gamma_, key) / (gamma_ + 1.0);
+}
+
+std::uint64_t& QuantileSketch::cell(int key) {
+  // Dense store: counts_[i] holds the count for key base_key_ + i. Grow
+  // with margin so a drifting key range doesn't reallocate per record.
+  if (counts_.empty()) {
+    base_key_ = key - 8;
+    counts_.assign(32, 0);
+  } else if (key < base_key_) {
+    const std::size_t grow = static_cast<std::size_t>(base_key_ - key) + 16;
+    counts_.insert(counts_.begin(), grow, 0);
+    base_key_ -= static_cast<int>(grow);
+  } else if (static_cast<std::size_t>(key - base_key_) >= counts_.size()) {
+    const std::size_t need = static_cast<std::size_t>(key - base_key_) + 17;
+    counts_.resize(need + need / 2, 0);
+  }
+  return counts_[static_cast<std::size_t>(key - base_key_)];
 }
 
 void QuantileSketch::record(double value, std::uint64_t n) {
@@ -38,8 +81,13 @@ void QuantileSketch::record(double value, std::uint64_t n) {
   if (v < kMinIndexable) {
     zero_count_ += n;
   } else {
-    buckets_[key_for(v)] += n;
-    collapse_if_needed();
+    std::uint64_t& c = cell(key_for(v));
+    const bool fresh = c == 0;
+    c += n;
+    if (fresh) {
+      ++occupied_;
+      if (occupied_ > max_buckets_) collapse_lowest();
+    }
   }
   if (count_ == 0) {
     min_ = max_ = v;
@@ -54,8 +102,13 @@ void QuantileSketch::record(double value, std::uint64_t n) {
 void QuantileSketch::merge(const QuantileSketch& other) {
   assert(alpha_ == other.alpha_ && "merging sketches of different accuracy");
   if (other.count_ == 0) return;
-  for (const auto& [key, n] : other.buckets_) buckets_[key] += n;
-  collapse_if_needed();
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    if (other.counts_[i] == 0) continue;
+    std::uint64_t& c = cell(other.base_key_ + static_cast<int>(i));
+    if (c == 0) ++occupied_;
+    c += other.counts_[i];
+  }
+  while (occupied_ > max_buckets_) collapse_lowest();
   zero_count_ += other.zero_count_;
   if (count_ == 0) {
     min_ = other.min_;
@@ -69,22 +122,26 @@ void QuantileSketch::merge(const QuantileSketch& other) {
 }
 
 void QuantileSketch::reset() {
-  buckets_.clear();
+  counts_.clear();
+  base_key_ = 0;
+  occupied_ = 0;
   zero_count_ = 0;
   count_ = 0;
   sum_ = 0.0;
   min_ = max_ = 0.0;
 }
 
-void QuantileSketch::collapse_if_needed() {
-  // Collapse the lowest keys together until under the cap. SLO analytics
+void QuantileSketch::collapse_lowest() {
+  // Fold the lowest occupied bucket into the next one up. SLO analytics
   // reads the upper tail, so the low end is the safe place to coarsen.
-  while (buckets_.size() > max_buckets_) {
-    auto lowest = buckets_.begin();
-    auto second = std::next(lowest);
-    second->second += lowest->second;
-    buckets_.erase(lowest);
-  }
+  std::size_t lo = 0;
+  while (lo < counts_.size() && counts_[lo] == 0) ++lo;
+  std::size_t next = lo + 1;
+  while (next < counts_.size() && counts_[next] == 0) ++next;
+  if (next >= counts_.size()) return;  // single occupied bucket: nothing to do
+  counts_[next] += counts_[lo];
+  counts_[lo] = 0;
+  --occupied_;
 }
 
 double QuantileSketch::percentile(double p) const {
@@ -95,11 +152,13 @@ double QuantileSketch::percentile(double p) const {
   // rank is 0-based: find the bucket holding the (rank+1)-th smallest value.
   if (rank < zero_count_) return 0.0;
   std::uint64_t seen = zero_count_;
-  for (const auto& [key, n] : buckets_) {
-    seen += n;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    seen += counts_[i];
     if (seen > rank) {
       // Clamp into the observed range so p0/p100 never leave [min, max].
-      return std::clamp(representative(key), min_, max_);
+      return std::clamp(representative(base_key_ + static_cast<int>(i)),
+                        min_, max_);
     }
   }
   return max_;
@@ -109,9 +168,10 @@ std::uint64_t QuantileSketch::count_at_or_below(double threshold) const {
   if (count_ == 0 || threshold < 0.0) return 0;
   if (threshold >= max_) return count_;
   std::uint64_t seen = zero_count_;
-  for (const auto& [key, n] : buckets_) {
-    if (representative(key) > threshold) break;
-    seen += n;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (representative(base_key_ + static_cast<int>(i)) > threshold) break;
+    seen += counts_[i];
   }
   return seen;
 }

@@ -15,7 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "common/stats.h"
 
@@ -58,22 +58,31 @@ class QuantileSketch {
   /// Current number of occupied buckets (the memory footprint proxy; bounded
   /// by max_buckets regardless of sample count).
   std::size_t num_buckets() const {
-    return buckets_.size() + (zero_count_ > 0 ? 1 : 0);
+    return occupied_ + (zero_count_ > 0 ? 1 : 0);
   }
   std::size_t max_buckets() const { return max_buckets_; }
 
  private:
   int key_for(double value) const;
   double representative(int key) const;
-  void collapse_if_needed();
+  /// Dense-store cell for `key`, growing the array as needed.
+  std::uint64_t& cell(int key);
+  /// Fold the lowest occupied bucket into the next one up.
+  void collapse_lowest();
 
   double alpha_;
-  double gamma_;      // (1 + alpha) / (1 - alpha)
-  double log_gamma_;  // ln(gamma)
+  double gamma_;          // (1 + alpha) / (1 - alpha)
+  double log_gamma_;      // ln(gamma)
+  double inv_log_gamma_;  // 1 / ln(gamma)
   std::size_t max_buckets_;
 
-  std::map<int, std::uint64_t> buckets_;  // key -> count, ordered by value
-  std::uint64_t zero_count_ = 0;          // values < kMinIndexable
+  // Dense store: counts_[i] is the count for bucket key base_key_ + i.
+  // Contiguous so the per-record hot path is an array increment rather
+  // than a tree insert; ascending iteration falls out for free.
+  std::vector<std::uint64_t> counts_;
+  int base_key_ = 0;
+  std::size_t occupied_ = 0;      // nonzero cells in counts_
+  std::uint64_t zero_count_ = 0;  // values < kMinIndexable
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;

@@ -1,19 +1,29 @@
 // Discrete-event simulation engine.
 //
-// A Simulator owns a priority queue of timestamped events. Events scheduled
+// A Simulator owns a binary min-heap of timestamped events. Events scheduled
 // for the same instant fire in scheduling order (FIFO), which together with
 // seeded RNGs makes every run bit-for-bit reproducible.
 //
 // The engine is single-threaded by design: microsecond-scale event handlers
 // dominate, and determinism is a hard requirement for the experiments.
+// (Multiple Simulators may run concurrently on different threads — see
+// harness::SweepRunner — but one Simulator is never shared across threads.)
+//
+// Hot-path layout: event callbacks live in a slab of pooled records indexed
+// by a free list, so steady-state scheduling performs no heap allocation
+// (callback captures up to UniqueFunction::kInlineSize bytes included). The
+// heap itself stores 24-byte (time, seq, slot, generation) entries.
+// Cancellation bumps the slot's generation counter and frees the record
+// immediately — including its callback captures — leaving only a stale heap
+// entry behind, which is skipped on pop; when more than half of the heap is
+// stale it is compacted in place.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "common/function.h"
 #include "common/time.h"
 
 namespace sora {
@@ -22,31 +32,37 @@ namespace obs {
 class MetricsRegistry;
 }
 
+class Simulator;
+
 /// Handle to a scheduled event, usable to cancel it before it fires.
+/// A handle is a (slot, generation) ticket into the owning simulator's event
+/// slab; it is cheap to copy and must not outlive the Simulator.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event is still pending (not fired, not cancelled).
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const;
 
   /// Cancel the event; a no-op if already fired or cancelled.
-  void cancel() {
-    if (state_) *state_ = true;
-  }
+  void cancel();
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-  std::shared_ptr<bool> state_;  // true = cancelled/fired
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint32_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
 
-  /// Registers this simulator as the process log clock so SORA_LOG lines
-  /// carry the current sim time (see common/log.h).
+  /// Registers this simulator as the calling thread's log clock so SORA_LOG
+  /// lines carry the current sim time (see common/log.h).
   Simulator();
   ~Simulator();
   Simulator(const Simulator&) = delete;
@@ -70,7 +86,7 @@ class Simulator {
 
   /// Run until the event queue is empty or `until` is reached. Events at
   /// exactly `until` are executed. Advances now() to `until` (or the last
-  /// event time if the queue drains first and it is later).
+  /// executed event time if the queue drains first and it is later).
   void run_until(SimTime until);
 
   /// Run until the event queue is completely empty.
@@ -80,34 +96,86 @@ class Simulator {
   bool step();
 
   std::uint64_t events_executed() const { return events_executed_; }
-  std::size_t events_pending() const { return queue_.size(); }
+  /// Scheduled-and-not-yet-fired events (cancelled events excluded).
+  std::size_t events_pending() const { return heap_.size() - stale_in_heap_; }
+  /// Events cancelled before firing over the simulator's lifetime.
+  std::uint64_t events_cancelled() const { return events_cancelled_; }
 
-  /// Publish event-loop state (events executed, queue depth, sim clock)
-  /// into a metrics registry. Called by periodic samplers; the hot event
-  /// loop itself stays untouched.
+  /// Publish event-loop state (events executed/cancelled, queue depth, sim
+  /// clock) into a metrics registry. Called by periodic samplers; the hot
+  /// event loop itself stays untouched.
   void publish_metrics(obs::MetricsRegistry& metrics) const;
 
  private:
-  struct Event {
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNilSlot = UINT32_MAX;
+  /// Below this heap size, stale entries are too cheap to be worth a
+  /// compaction pass.
+  static constexpr std::size_t kCompactMinHeap = 64;
+
+  /// Pooled per-event state. `gen` identifies the current occupancy of the
+  /// slot: heap entries and handles carry the generation they were issued
+  /// under and become stale when it changes.
+  struct EventRecord {
+    Callback cb;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNilSlot;
+    /// One-shot events own a heap entry; periodic chain anchors do not.
+    bool queued = false;
+  };
+
+  struct HeapEntry {
     SimTime at;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    Callback cb;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
 
-    bool operator>(const Event& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+  /// Heap comparator: true when `a` fires after `b` (std::*_heap with this
+  /// ordering keeps the earliest (time, seq) event on top).
+  struct FiresAfter {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
     }
   };
 
-  void execute(Event& ev);
-  void schedule_tick(SimTime period, std::shared_ptr<Callback> cb,
-                     std::shared_ptr<bool> stop);
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+  bool slot_live(std::uint32_t slot, std::uint32_t gen) const {
+    return records_[slot].gen == gen;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Discard stale entries from the top of the heap; returns the earliest
+  /// live entry, or nullptr when the queue is (effectively) empty.
+  const HeapEntry* live_top();
+  /// Pop and execute the top entry (must be live).
+  void execute_top();
+  /// Drop all stale entries and restore the heap invariant.
+  void compact();
+
+  void schedule_tick(SimTime period, std::uint32_t chain_slot,
+                     std::uint32_t chain_gen);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<EventRecord> records_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t stale_in_heap_ = 0;
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t events_cancelled_ = 0;
 };
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->slot_live(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
+}
 
 }  // namespace sora

@@ -102,7 +102,7 @@ void Application::publish_metrics() {
   metrics_.counter("app.completed").set_total(static_cast<double>(completed_));
 }
 
-void Application::deliver(std::function<void()> fn) {
+void Application::deliver(UniqueFunction fn) {
   if (config_.network_latency <= 0) {
     fn();
     return;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/function.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -77,7 +78,7 @@ class Application : public LoadTarget {
 
   /// Deliver a message across the network: runs `fn` after the configured
   /// network latency (synchronously when latency is 0).
-  void deliver(std::function<void()> fn);
+  void deliver(UniqueFunction fn);
 
  private:
   Service& entry_service(int request_class);

@@ -20,14 +20,25 @@ CpuScheduler::CpuScheduler(Simulator& sim, double cores, double overhead_beta)
   last_advance_ = sim_.now();
 }
 
-double CpuScheduler::rate(int n) const {
-  if (n <= 0) return 1.0;
+double CpuScheduler::rate_uncached(int n) const {
   const double nd = static_cast<double>(n);
   double r = std::min(1.0, cores_ / nd);
   if (nd > cores_) {
     r /= 1.0 + beta_ * std::log1p((nd - cores_) / cores_);
   }
   return r;
+}
+
+double CpuScheduler::rate(int n) const {
+  if (n <= 0) return 1.0;
+  const auto idx = static_cast<std::size_t>(n);
+  if (idx >= rate_cache_.size()) {
+    rate_cache_.reserve(idx + 16);
+    for (std::size_t i = rate_cache_.size(); i <= idx + 15; ++i) {
+      rate_cache_.push_back(rate_uncached(static_cast<int>(i)));
+    }
+  }
+  return rate_cache_[idx];
 }
 
 void CpuScheduler::advance() {
@@ -58,20 +69,31 @@ void CpuScheduler::reschedule() {
 
 void CpuScheduler::complete_front() {
   advance();
-  std::vector<Completion> ready;
+  // Typically exactly one job finishes per completion event; keep that case
+  // free of heap traffic and only spill ties into a vector.
+  Completion first;
+  std::vector<Completion> rest;
+  std::uint64_t n = 0;
   while (!jobs_.empty() && jobs_.begin()->first <= v_ + kTagEps) {
-    ready.push_back(std::move(jobs_.begin()->second.done));
+    Completion done = std::move(jobs_.begin()->second.done);
     jobs_.erase(jobs_.begin());
+    if (n++ == 0) {
+      first = std::move(done);
+    } else {
+      rest.push_back(std::move(done));
+    }
   }
-  if (ready.empty() && !jobs_.empty()) {
+  if (n == 0 && !jobs_.empty()) {
     // Rounding scheduled us a hair early; the front job has sub-nanosecond
     // residual work. Complete it rather than spin.
-    ready.push_back(std::move(jobs_.begin()->second.done));
+    first = std::move(jobs_.begin()->second.done);
     jobs_.erase(jobs_.begin());
+    n = 1;
   }
-  jobs_completed_ += ready.size();
+  jobs_completed_ += n;
   reschedule();
-  for (auto& done : ready) done();
+  if (n > 0) first();
+  for (auto& done : rest) done();
 }
 
 void CpuScheduler::submit(SimTime demand, Completion done) {
@@ -89,6 +111,7 @@ void CpuScheduler::set_cores(double cores) {
   assert(cores > 0.0);
   advance();
   cores_ = cores;
+  rate_cache_.clear();
   reschedule();
 }
 

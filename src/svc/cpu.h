@@ -21,9 +21,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
+#include <vector>
 
+#include "common/function.h"
 #include "common/time.h"
 #include "sim/simulator.h"
 
@@ -31,7 +32,7 @@ namespace sora {
 
 class CpuScheduler {
  public:
-  using Completion = std::function<void()>;
+  using Completion = UniqueFunction;
 
   CpuScheduler(Simulator& sim, double cores, double overhead_beta);
 
@@ -60,8 +61,11 @@ class CpuScheduler {
     Completion done;
   };
 
-  /// Per-job progress rate with n active jobs.
+  /// Per-job progress rate with n active jobs. Memoized per n (invalidated
+  /// by set_cores): advance() calls this on every event affecting the
+  /// instance and the log1p dominates otherwise.
   double rate(int n) const;
+  double rate_uncached(int n) const;
 
   /// Fold elapsed wall time into virtual time and the busy integral.
   void advance();
@@ -82,6 +86,9 @@ class CpuScheduler {
 
   // busy integral: core-microseconds actually consumed
   double busy_integral_ = 0.0;
+
+  // rate(n) memo, indexed by n; grown lazily, cleared on set_cores.
+  mutable std::vector<double> rate_cache_;
 
   std::uint64_t jobs_completed_ = 0;
 };

@@ -21,6 +21,8 @@ int effective_pool_size(int configured) {
 }  // namespace
 
 /// Per-request-visit state shared by the callbacks of the state machine.
+/// Pooled: recycled through visit_free_ rather than heap-allocated per
+/// request, so capturing a raw Visit* is safe until finish() releases it.
 struct ServiceInstance::Visit {
   TraceId trace;
   SpanId span;
@@ -28,7 +30,26 @@ struct ServiceInstance::Visit {
   Done done;
   const CompiledBehavior* behavior = nullptr;
   SimTime blocked_since = 0;
+  int pending_calls = 0;  ///< downstream calls outstanding in current group
 };
+
+ServiceInstance::Visit* ServiceInstance::alloc_visit() {
+  if (visit_free_.empty()) {
+    visit_slab_.push_back(std::make_unique<Visit>());
+    return visit_slab_.back().get();
+  }
+  Visit* v = visit_free_.back();
+  visit_free_.pop_back();
+  return v;
+}
+
+void ServiceInstance::free_visit(Visit* v) {
+  v->done.reset();
+  v->behavior = nullptr;
+  v->blocked_since = 0;
+  v->pending_calls = 0;
+  visit_free_.push_back(v);
+}
 
 ServiceInstance::ServiceInstance(Service& service, InstanceId id)
     : svc_(service),
@@ -74,7 +95,7 @@ void ServiceInstance::serve(TraceId trace, SpanId span, int request_class,
   Tracer& tracer = svc_.app().tracer();
   tracer.span(trace, span).instance = id_;
 
-  auto v = std::make_shared<Visit>();
+  Visit* v = alloc_visit();
   v->trace = trace;
   v->span = span;
   v->request_class = request_class;
@@ -84,19 +105,17 @@ void ServiceInstance::serve(TraceId trace, SpanId span, int request_class,
   entry_pool_.acquire([this, v] { on_admitted(v); });
 }
 
-void ServiceInstance::on_admitted(const std::shared_ptr<Visit>& v) {
+void ServiceInstance::on_admitted(Visit* v) {
   Simulator& sim = svc_.app().sim();
   Tracer& tracer = svc_.app().tracer();
   tracer.span(v->trace, v->span).admitted = sim.now();
 
-  const DemandSpec& spec = v->behavior->request_demand;
-  const SimTime demand = static_cast<SimTime>(
-      rng_.lognormal_mean_cv(spec.mean_us * svc_.demand_scale(), spec.cv));
+  const SimTime demand =
+      static_cast<SimTime>(v->behavior->request_sampler.sample(rng_));
   cpu_.submit(demand, [this, v] { run_group(v, 0); });
 }
 
-void ServiceInstance::run_group(const std::shared_ptr<Visit>& v,
-                                std::size_t group_index) {
+void ServiceInstance::run_group(Visit* v, std::size_t group_index) {
   if (group_index >= v->behavior->groups.size()) {
     on_groups_done(v);
     return;
@@ -107,16 +126,14 @@ void ServiceInstance::run_group(const std::shared_ptr<Visit>& v,
     return;
   }
   v->blocked_since = svc_.app().sim().now();
-  auto pending = std::make_shared<int>(static_cast<int>(group.calls.size()));
+  v->pending_calls = static_cast<int>(group.calls.size());
   for (std::size_t ci = 0; ci < group.calls.size(); ++ci) {
-    issue_call(v, group_index, ci, pending);
+    issue_call(v, group_index, ci);
   }
 }
 
-void ServiceInstance::issue_call(const std::shared_ptr<Visit>& v,
-                                 std::size_t group_index,
-                                 std::size_t call_index,
-                                 const std::shared_ptr<int>& pending) {
+void ServiceInstance::issue_call(Visit* v, std::size_t group_index,
+                                 std::size_t call_index) {
   Application& app = svc_.app();
   Tracer& tracer = app.tracer();
   const CompiledGroup& group = v->behavior->groups[group_index];
@@ -138,21 +155,19 @@ void ServiceInstance::issue_call(const std::shared_ptr<Visit>& v,
   // Dispatch once the connection gate admits us; when the response returns,
   // release the connection, stamp the return time, and advance the group
   // after all peer calls have finished.
-  auto launch = [this, v, child, gate, target, group_index, child_slot,
-                 pending] {
+  auto launch = [this, v, child, gate, target, group_index, child_slot] {
     Application& app2 = svc_.app();
-    app2.deliver([this, v, child, gate, target, group_index, child_slot,
-                  pending] {
+    app2.deliver([this, v, child, gate, target, group_index, child_slot] {
       target->dispatch(
           v->trace, child, v->request_class,
-          [this, v, gate, group_index, child_slot, pending] {
+          [this, v, gate, group_index, child_slot] {
             Application& app3 = svc_.app();
-            app3.deliver([this, v, gate, group_index, child_slot, pending] {
+            app3.deliver([this, v, gate, group_index, child_slot] {
               if (gate != nullptr) gate->release();
               Tracer& t = svc_.app().tracer();
               Span& p = t.span(v->trace, v->span);
               p.children[child_slot].returned = svc_.app().sim().now();
-              if (--*pending == 0) {
+              if (--v->pending_calls == 0) {
                 p.downstream_wait += svc_.app().sim().now() - v->blocked_since;
                 run_group(v, group_index + 1);
               }
@@ -168,20 +183,23 @@ void ServiceInstance::issue_call(const std::shared_ptr<Visit>& v,
   }
 }
 
-void ServiceInstance::on_groups_done(const std::shared_ptr<Visit>& v) {
-  const DemandSpec& spec = v->behavior->response_demand;
-  const SimTime demand = static_cast<SimTime>(
-      rng_.lognormal_mean_cv(spec.mean_us * svc_.demand_scale(), spec.cv));
+void ServiceInstance::on_groups_done(Visit* v) {
+  const SimTime demand =
+      static_cast<SimTime>(v->behavior->response_sampler.sample(rng_));
   cpu_.submit(demand, [this, v] { finish(v); });
 }
 
-void ServiceInstance::finish(const std::shared_ptr<Visit>& v) {
+void ServiceInstance::finish(Visit* v) {
   Application& app = svc_.app();
   app.tracer().finish_span(v->trace, v->span, app.sim().now());
   svc_.note_completion();
   entry_pool_.release();
   --outstanding_;
-  v->done();
+  // Recycle the visit before running its continuation: `done` may start a
+  // fresh request on this instance, which can then reuse the slot.
+  Done done = std::move(v->done);
+  free_visit(v);
+  done();
 }
 
 }  // namespace sora

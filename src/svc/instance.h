@@ -12,10 +12,10 @@
 // which is how soft-resource pressure propagates along the call chain.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "common/function.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -28,7 +28,7 @@ class Service;
 
 class ServiceInstance {
  public:
-  using Done = std::function<void()>;
+  using Done = UniqueFunction;
 
   ServiceInstance(Service& service, InstanceId id);
   ~ServiceInstance();
@@ -59,13 +59,17 @@ class ServiceInstance {
  private:
   struct Visit;
 
-  void on_admitted(const std::shared_ptr<Visit>& v);
-  void run_group(const std::shared_ptr<Visit>& v, std::size_t group_index);
-  void issue_call(const std::shared_ptr<Visit>& v, std::size_t group_index,
-                  std::size_t call_index,
-                  const std::shared_ptr<int>& pending);
-  void on_groups_done(const std::shared_ptr<Visit>& v);
-  void finish(const std::shared_ptr<Visit>& v);
+  /// Grab a recycled Visit (or grow the pool). Visits return to the free
+  /// list in finish(); instances are never destroyed mid-run (scale-down
+  /// only deactivates), so pooled pointers stay valid for the whole sim.
+  Visit* alloc_visit();
+  void free_visit(Visit* v);
+
+  void on_admitted(Visit* v);
+  void run_group(Visit* v, std::size_t group_index);
+  void issue_call(Visit* v, std::size_t group_index, std::size_t call_index);
+  void on_groups_done(Visit* v);
+  void finish(Visit* v);
 
   Service& svc_;
   InstanceId id_;
@@ -77,6 +81,11 @@ class ServiceInstance {
   // Indexed by the service's edge-pool index; entries may be null (ungated).
   std::vector<std::unique_ptr<SoftResourcePool>> edge_pools_;
   Rng rng_;
+
+  // Visit pool: visit_slab_ owns every Visit ever allocated; visit_free_
+  // holds the currently idle ones.
+  std::vector<std::unique_ptr<Visit>> visit_slab_;
+  std::vector<Visit*> visit_free_;
 };
 
 }  // namespace sora

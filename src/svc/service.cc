@@ -54,8 +54,23 @@ void Service::compile_and_start() {
       out.groups.push_back(std::move(cg));
     }
   }
+  refresh_samplers();
 
   scale_replicas(std::max(1, config_.initial_replicas));
+}
+
+void Service::refresh_samplers() {
+  for (CompiledBehavior& b : behaviors_) {
+    b.request_sampler = LognormalSampler(
+        b.request_demand.mean_us * demand_scale_, b.request_demand.cv);
+    b.response_sampler = LognormalSampler(
+        b.response_demand.mean_us * demand_scale_, b.response_demand.cv);
+  }
+}
+
+void Service::set_demand_scale(double scale) {
+  demand_scale_ = scale;
+  refresh_samplers();
 }
 
 const CompiledBehavior& Service::behavior(int request_class) const {
@@ -69,21 +84,20 @@ const CompiledBehavior& Service::behavior(int request_class) const {
 ServiceInstance& Service::pick_replica() {
   assert(active_count_ > 0 && "dispatch to service with no active replicas");
   // Collect outstanding counts of active replicas in order.
-  std::vector<int> outstanding;
-  std::vector<std::size_t> index;
-  outstanding.reserve(instances_.size());
+  pick_outstanding_.clear();
+  pick_index_.clear();
   for (std::size_t i = 0; i < instances_.size(); ++i) {
     if (instances_[i]->active()) {
-      outstanding.push_back(instances_[i]->outstanding());
-      index.push_back(i);
+      pick_outstanding_.push_back(instances_[i]->outstanding());
+      pick_index_.push_back(i);
     }
   }
-  const std::size_t pick = lb_.pick(outstanding);
-  return *instances_[index[pick]];
+  const std::size_t pick = lb_.pick(pick_outstanding_);
+  return *instances_[pick_index_[pick]];
 }
 
 void Service::dispatch(TraceId trace, SpanId span, int request_class,
-                       std::function<void()> done) {
+                       UniqueFunction done) {
   pick_replica().serve(trace, span, request_class, std::move(done));
 }
 

@@ -6,12 +6,12 @@
 // (Sora's contribution).
 #pragma once
 
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/function.h"
 #include "common/ids.h"
 #include "common/rng.h"
 #include "common/time.h"
@@ -40,6 +40,10 @@ struct CompiledGroup {
 struct CompiledBehavior {
   DemandSpec request_demand;
   DemandSpec response_demand;
+  // Demand samplers with the scale multiplier folded in; refreshed by
+  // set_demand_scale so the per-request path never recomputes log/sqrt.
+  LognormalSampler request_sampler;
+  LognormalSampler response_sampler;
   std::vector<CompiledGroup> groups;
 };
 
@@ -60,7 +64,7 @@ class Service {
 
   /// Route a call (span already opened by the caller) to a replica.
   void dispatch(TraceId trace, SpanId span, int request_class,
-                std::function<void()> done);
+                UniqueFunction done);
 
   /// Behaviour for a class (falls back to class 0).
   const CompiledBehavior& behavior(int request_class) const;
@@ -89,8 +93,8 @@ class Service {
   int edge_pool_size(const std::string& target) const;
 
   /// Scale all CPU demands (models dataset growth / software updates —
-  /// "system state drifting"). Multiplier applied at sampling time.
-  void set_demand_scale(double scale) { demand_scale_ = scale; }
+  /// "system state drifting"). Folded into the compiled demand samplers.
+  void set_demand_scale(double scale);
   double demand_scale() const { return demand_scale_; }
 
   // -- replica access & aggregates -------------------------------------------
@@ -139,6 +143,7 @@ class Service {
 
   ServiceInstance& pick_replica();
   void note_completion() { ++completions_; }
+  void refresh_samplers();
 
   Application& app_;
   ServiceId id_;
@@ -163,6 +168,11 @@ class Service {
 
   std::uint64_t completions_ = 0;
   IdGenerator<InstanceId>* instance_ids_ = nullptr;  // owned by Application
+
+  // Scratch buffers reused by pick_replica() to keep the per-dispatch hot
+  // path free of allocations.
+  std::vector<int> pick_outstanding_;
+  std::vector<std::size_t> pick_index_;
 };
 
 }  // namespace sora

@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "common/function.h"
 #include "common/time.h"
 
 namespace sora {
@@ -32,7 +32,7 @@ const char* to_string(PoolKind kind);
 
 class SoftResourcePool {
  public:
-  using Grant = std::function<void()>;
+  using Grant = UniqueFunction;
 
   SoftResourcePool(Simulator& sim, PoolKind kind, std::string name,
                    int capacity);

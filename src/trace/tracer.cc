@@ -10,6 +10,9 @@ TraceId Tracer::begin_trace(int request_class, SimTime now) {
   open.trace.id = id;
   open.trace.request_class = request_class;
   open.trace.start = now;
+  // Typical traces have a handful of spans; one up-front allocation beats
+  // the doubling sequence during start_span.
+  open.trace.spans.reserve(8);
   open_.emplace(id.value(), std::move(open));
   return id;
 }
@@ -32,19 +35,24 @@ SpanId Tracer::start_span(TraceId trace, SpanId parent, ServiceId service,
   s.arrival = arrival;
   s.admitted = arrival;
   s.departure = arrival;
-  open.index.emplace(id.value(), open.trace.spans.size());
   open.trace.spans.push_back(std::move(s));
   ++open.open_spans;
   return id;
 }
 
+Span& Tracer::find_span(OpenTrace& open, SpanId id) {
+  auto& spans = open.trace.spans;
+  for (std::size_t i = spans.size(); i-- > 0;) {
+    if (spans[i].id == id) return spans[i];
+  }
+  assert(false && "span lookup on unknown span");
+  return spans.front();
+}
+
 Span& Tracer::span(TraceId trace, SpanId id) {
   auto it = open_.find(trace.value());
   assert(it != open_.end() && "span() on unknown trace");
-  OpenTrace& open = it->second;
-  auto sit = open.index.find(id.value());
-  assert(sit != open.index.end() && "span() on unknown span");
-  return open.trace.spans[sit->second];
+  return find_span(it->second, id);
 }
 
 void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
@@ -52,7 +60,7 @@ void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
   assert(it != open_.end() && "finish_span on unknown trace");
   OpenTrace& open = it->second;
 
-  Span& s = span(trace, id);
+  Span& s = find_span(open, id);
   s.departure = departure;
   assert(open.open_spans > 0);
   --open.open_spans;

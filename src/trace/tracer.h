@@ -62,10 +62,13 @@ class Tracer {
  private:
   struct OpenTrace {
     Trace trace;
-    // span id -> index into trace.spans
-    std::unordered_map<std::uint64_t, std::size_t> index;
     std::size_t open_spans = 0;
   };
+
+  /// Find a span inside an open trace by id. Traces hold a handful of
+  /// spans, so a backwards linear scan (most recently opened first) beats
+  /// a per-trace hash index.
+  static Span& find_span(OpenTrace& open, SpanId id);
 
   IdGenerator<TraceId> trace_ids_;
   IdGenerator<SpanId> span_ids_;

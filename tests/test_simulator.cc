@@ -151,5 +151,151 @@ TEST(Simulator, ManyEventsStress) {
   EXPECT_EQ(sum, 10000u);
 }
 
+TEST(Simulator, CancelledCounterTracksCancels) {
+  Simulator sim;
+  EventHandle a = sim.schedule_at(10, [] {});
+  EventHandle b = sim.schedule_at(20, [] {});
+  sim.schedule_at(30, [] {});
+  EXPECT_EQ(sim.events_cancelled(), 0u);
+  a.cancel();
+  b.cancel();
+  b.cancel();  // double-cancel must not count twice
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 1u);
+  EXPECT_EQ(sim.events_cancelled(), 2u);
+}
+
+// A cancelled slot is recycled for the next scheduled event; the old
+// handle's generation is stale and must neither report pending nor be able
+// to cancel the slot's new occupant.
+TEST(Simulator, StaleHandleCannotTouchReusedSlot) {
+  Simulator sim;
+  bool old_fired = false;
+  bool new_fired = false;
+  EventHandle old_h = sim.schedule_at(10, [&] { old_fired = true; });
+  old_h.cancel();
+  EventHandle new_h = sim.schedule_at(20, [&] { new_fired = true; });
+  EXPECT_FALSE(old_h.pending());
+  EXPECT_TRUE(new_h.pending());
+  old_h.cancel();  // stale generation: must be a no-op on the new event
+  EXPECT_TRUE(new_h.pending());
+  sim.run_all();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+  EXPECT_EQ(sim.events_cancelled(), 1u);
+}
+
+// A handle whose event already fired is equally stale across slot reuse.
+TEST(Simulator, SpentHandleCannotCancelReusedSlot) {
+  Simulator sim;
+  EventHandle first = sim.schedule_at(1, [] {});
+  sim.run_all();
+  int fired = 0;
+  sim.schedule_at(2, [&] { ++fired; });
+  first.cancel();  // must not hit the recycled slot
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.events_cancelled(), 0u);
+}
+
+// Cancel/reschedule churn forces slots through many generations; every
+// surviving event must fire exactly once, in time order, and no stale
+// handle may interfere.
+TEST(Simulator, HandleGenerationStress) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  std::vector<EventHandle> cancelled;
+  // Interleave: schedule two, cancel one, repeat. Free-list reuse makes
+  // consecutive schedules revisit the same slots with bumped generations.
+  for (int i = 0; i < 1000; ++i) {
+    EventHandle keep =
+        sim.schedule_at(2 * i, [&fired, &sim] { fired.push_back(sim.now()); });
+    EventHandle drop = sim.schedule_at(2 * i + 1, [] { FAIL(); });
+    drop.cancel();
+    cancelled.push_back(drop);
+    (void)keep;
+  }
+  // Re-cancelling every stale handle must not disturb pending events.
+  for (EventHandle& h : cancelled) {
+    EXPECT_FALSE(h.pending());
+    h.cancel();
+  }
+  EXPECT_EQ(sim.events_pending(), 1000u);
+  sim.run_all();
+  ASSERT_EQ(fired.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(fired[i], 2 * i);
+  EXPECT_EQ(sim.events_executed(), 1000u);
+  EXPECT_EQ(sim.events_cancelled(), 1000u);
+}
+
+// Cancelling most of a large queue triggers in-place heap compaction; the
+// survivors must still fire in exact (time, FIFO) order.
+TEST(Simulator, CompactionPreservesOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 512; ++i) {
+    handles.push_back(
+        sim.schedule_at(1000 - i, [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel all but every 8th event: well past the >50% stale threshold.
+  std::uint64_t expected_cancelled = 0;
+  for (int i = 0; i < 512; ++i) {
+    if (i % 8 != 0) {
+      handles[i].cancel();
+      ++expected_cancelled;
+    }
+  }
+  EXPECT_EQ(sim.events_cancelled(), expected_cancelled);
+  EXPECT_EQ(sim.events_pending(), 512u - expected_cancelled);
+  sim.run_all();
+  ASSERT_EQ(fired.size(), 512u - expected_cancelled);
+  // Times were 1000 - i, so survivors fire in descending index order.
+  for (std::size_t k = 0; k < fired.size(); ++k) {
+    EXPECT_EQ(fired[k], 504 - static_cast<int>(k) * 8);
+  }
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+// Compaction during execution: cancel from inside a callback, then keep
+// scheduling; counters and order must stay consistent.
+TEST(Simulator, CancelInsideCallbackWithChurn) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 200; ++i) {
+    doomed.push_back(sim.schedule_at(100 + i, [] { FAIL(); }));
+  }
+  sim.schedule_at(50, [&] {
+    for (EventHandle& h : doomed) h.cancel();
+    order.push_back(1);
+    sim.schedule_after(10, [&] { order.push_back(2); });
+  });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.events_cancelled(), 200u);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+// Periodic chains run through the same slab; cancelling one mid-flight and
+// re-arming new periodics must not cross wires through recycled slots.
+TEST(Simulator, PeriodicSlotReuseAcrossGenerations) {
+  Simulator sim;
+  int first_count = 0;
+  EventHandle first = sim.schedule_periodic(10, [&] { ++first_count; });
+  sim.run_until(35);
+  EXPECT_EQ(first_count, 3);
+  first.cancel();
+  int second_count = 0;
+  EventHandle second = sim.schedule_periodic(5, [&] { ++second_count; });
+  first.cancel();  // stale: must not stop the new chain
+  sim.run_until(60);
+  EXPECT_FALSE(first.pending());
+  EXPECT_TRUE(second.pending());
+  EXPECT_EQ(first_count, 3);
+  EXPECT_EQ(second_count, 5);  // ticks at 40, 45, 50, 55, 60
+}
+
 }  // namespace
 }  // namespace sora
