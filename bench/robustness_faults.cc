@@ -1,0 +1,235 @@
+// Robustness-under-faults sweep: fault kinds x controllers on the Social
+// Network application (Home-Timeline -> Post-Storage connection pool as the
+// soft-resource knob, 2 Post-Storage replicas so one can crash).
+//
+// For every controller {sora, conscale, firm, hpa} and every scenario
+// {none, crash, cpu_churn, telemetry_dropout, control_stall} this runs one
+// deterministic experiment (scripted FaultPlan, fixed seed) and reports
+// p99 / goodput plus the p99 degradation factor against that controller's
+// fault-free run. The table feeds the EXPERIMENTS.md robustness section.
+//
+// Usage: robustness_faults [duration_minutes] (default 4)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/social_network.h"
+#include "bench_util.h"
+#include "fault/fault_plan.h"
+#include "harness/sweep.h"
+
+namespace sora::bench {
+namespace {
+
+enum class Ctl { kSora, kConScale, kFirm, kHpa };
+enum class Scn { kNone, kCrash, kCpuChurn, kTelemetryDropout, kControlStall };
+
+const char* name(Ctl c) {
+  switch (c) {
+    case Ctl::kSora: return "sora";
+    case Ctl::kConScale: return "conscale";
+    case Ctl::kFirm: return "firm";
+    case Ctl::kHpa: return "hpa";
+  }
+  return "?";
+}
+
+const char* name(Scn s) {
+  switch (s) {
+    case Scn::kNone: return "none";
+    case Scn::kCrash: return "crash";
+    case Scn::kCpuChurn: return "cpu_churn";
+    case Scn::kTelemetryDropout: return "telemetry_dropout";
+    case Scn::kControlStall: return "control_stall";
+  }
+  return "?";
+}
+
+/// Scripted (not seed-drawn) plans: every controller faces the *same* fault
+/// timeline, so columns are comparable.
+FaultPlan plan_for(Scn scenario, SimTime duration) {
+  FaultPlan plan;
+  const SimTime t0 = duration / 3;
+  switch (scenario) {
+    case Scn::kNone:
+      break;
+    case Scn::kCrash: {
+      FaultEvent ev;
+      ev.kind = FaultKind::kCrashInstance;
+      ev.at = t0;
+      ev.service = "post-storage";
+      ev.drop_inflight = true;
+      ev.duration = sec(45);
+      plan.add(ev);
+      break;
+    }
+    case Scn::kCpuChurn: {
+      FaultEvent down;
+      down.kind = FaultKind::kCpuLimitStep;
+      down.at = t0;
+      down.service = "post-storage";
+      down.cores = 1.0;
+      FaultEvent up = down;
+      up.at = t0 + sec(45);
+      up.cores = 2.0;
+      plan.add(down).add(up);
+      break;
+    }
+    case Scn::kTelemetryDropout: {
+      FaultEvent spans;
+      spans.kind = FaultKind::kSpanDropout;
+      spans.at = t0;
+      spans.duration = sec(60);
+      spans.fraction = 0.7;
+      FaultEvent scatter;
+      scatter.kind = FaultKind::kScatterDropout;
+      scatter.at = t0;
+      scatter.duration = sec(60);
+      scatter.fraction = 0.7;
+      plan.add(spans).add(scatter);
+      break;
+    }
+    case Scn::kControlStall: {
+      FaultEvent ev;
+      ev.kind = FaultKind::kControlStall;
+      ev.at = t0;
+      ev.duration = sec(45);
+      plan.add(ev);
+      break;
+    }
+  }
+  return plan;
+}
+
+struct CellResult {
+  ExperimentSummary summary;
+  std::uint64_t visits_dropped = 0;
+  std::size_t fault_records = 0;
+  std::size_t stalled_records = 0;
+};
+
+CellResult run_cell(Ctl controller, Scn scenario, SimTime duration) {
+  social_network::Params params;
+  params.post_storage_replicas = 2;  // one can crash without refusal
+  ExperimentConfig cfg;
+  cfg.duration = duration;
+  cfg.sla = msec(400);
+  cfg.seed = 42;
+  Experiment exp(social_network::make_social_network(params), cfg);
+  exp.closed_loop(400, sec(1), RequestMix(social_network::kReadTimelineLight));
+
+  switch (controller) {
+    case Ctl::kSora:
+    case Ctl::kConScale: {
+      SoraFrameworkOptions so = controller == Ctl::kConScale
+                                    ? make_conscale_options()
+                                    : SoraFrameworkOptions{};
+      so.sla = cfg.sla;
+      so.adapter.min_size = params.post_storage_connections;
+      auto& fw = exp.add_sora(so);
+      fw.manage(ResourceKnob::edge(exp.app().service("home-timeline"),
+                                   "post-storage"));
+      break;
+    }
+    case Ctl::kFirm: {
+      FirmOptions fo;
+      fo.slo_latency = cfg.sla;
+      auto& firm = exp.add_firm(fo);
+      firm.manage(exp.app().service("post-storage"));
+      break;
+    }
+    case Ctl::kHpa: {
+      auto& hpa = exp.add_hpa();
+      hpa.manage(exp.app().service("post-storage"));
+      break;
+    }
+  }
+
+  const FaultPlan plan = plan_for(scenario, duration);
+  if (!plan.empty()) exp.enable_faults(plan);
+  exp.run();
+
+  CellResult out;
+  out.summary = exp.summary();
+  out.visits_dropped = exp.app().service("post-storage")->visits_dropped();
+  for (const auto& rec : exp.decision_log().records()) {
+    if (rec.controller == "fault") ++out.fault_records;
+    if (rec.action == "stalled") ++out.stalled_records;
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const int minutes_arg = argc > 1 ? std::atoi(argv[1]) : 4;
+  const SimTime duration = minutes(std::max(1, minutes_arg));
+
+  print_header("Robustness under fault injection",
+               "Controllers x fault scenarios, Social Network, scripted "
+               "FaultPlan (seed 42)");
+
+  const std::vector<Ctl> controllers = {Ctl::kSora, Ctl::kConScale, Ctl::kFirm,
+                                        Ctl::kHpa};
+  const std::vector<Scn> scenarios = {Scn::kNone, Scn::kCrash, Scn::kCpuChurn,
+                                      Scn::kTelemetryDropout,
+                                      Scn::kControlStall};
+
+  struct Cell {
+    Ctl controller;
+    Scn scenario;
+  };
+  std::vector<Cell> cells;
+  for (Ctl c : controllers) {
+    for (Scn s : scenarios) cells.push_back({c, s});
+  }
+
+  SweepRunner runner;
+  const auto results = runner.map(cells, [&](const Cell& cell) {
+    return run_cell(cell.controller, cell.scenario, duration);
+  });
+
+  // Fault-free baselines per controller, for the degradation factor.
+  std::vector<double> base_p99(controllers.size(), 0.0);
+  for (std::size_t ci = 0; ci < controllers.size(); ++ci) {
+    base_p99[ci] = results[ci * scenarios.size()].summary.p99_ms;
+  }
+
+  TextTable table({"controller", "scenario", "p99 ms", "p99 vs fault-free",
+                   "goodput r/s", "good %", "dropped visits",
+                   "fault records", "stalled rounds"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = results[i];
+    const std::size_t ci = i / scenarios.size();
+    const double factor =
+        base_p99[ci] > 0.0 ? r.summary.p99_ms / base_p99[ci] : 0.0;
+    table.add_row({name(cells[i].controller), name(cells[i].scenario),
+                   fmt(r.summary.p99_ms, 1), fmt(factor, 2) + "x",
+                   fmt(r.summary.goodput_rps, 1),
+                   fmt(r.summary.good_fraction * 100.0, 1),
+                   fmt_count(r.visits_dropped), fmt_count(r.fault_records),
+                   fmt_count(r.stalled_records)});
+  }
+  table.print(std::cout);
+
+  // Machine-checkable verdict lines (CI greps these).
+  bool all_survived = true;
+  double worst_factor = 0.0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (results[i].summary.completed == 0) all_survived = false;
+    const std::size_t ci = i / scenarios.size();
+    if (base_p99[ci] > 0.0) {
+      worst_factor =
+          std::max(worst_factor, results[i].summary.p99_ms / base_p99[ci]);
+    }
+  }
+  std::cout << "\nall controllers survived all faults: "
+            << (all_survived ? "yes" : "NO") << "\n"
+            << "worst p99 degradation factor: " << fmt(worst_factor, 2)
+            << "x\n";
+  return all_survived ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main(int argc, char** argv) { return sora::bench::run(argc, argv); }

@@ -61,6 +61,13 @@ class Autoscaler {
   /// (counter "scale.events", labels controller/service/kind).
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Fault-injection hook: while stalled, implementations skip their
+  /// control logic each tick and append a single "stalled" record instead,
+  /// leaving their utilization/latency windows untouched — the first round
+  /// after the stall ends evaluates evidence spanning the whole outage.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+
  protected:
   /// Record the event in history, count it into the metrics registry (if
   /// attached), and invoke the scale listeners. Defined in autoscaler.cc
@@ -74,12 +81,27 @@ class Autoscaler {
   /// Bump and return the control-round counter; call once per tick.
   std::uint64_t next_round() { return ++rounds_; }
 
+  /// Shared stall short-circuit: when stalled, append the "stalled" record
+  /// (with `at` stamped by the caller) and return true — the tick must then
+  /// return without running its control logic.
+  bool handle_stall(SimTime now) {
+    if (!stalled_) return false;
+    obs::ControlDecisionRecord rec;
+    rec.at = now;
+    rec.action = "stalled";
+    rec.fault_kind = "control_stall";
+    rec.reason = "control round skipped: control plane stalled";
+    record_decision(std::move(rec));
+    return true;
+  }
+
  private:
   std::vector<ScaleListener> listeners_;
   std::vector<ScaleEvent> history_;
   obs::DecisionLog* decision_log_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::uint64_t rounds_ = 0;
+  bool stalled_ = false;
 };
 
 /// Snapshot-based CPU utilization tracker shared by the scalers: call

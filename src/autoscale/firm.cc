@@ -44,6 +44,7 @@ void FirmAutoscaler::stop() { tick_event_.cancel(); }
 void FirmAutoscaler::tick() {
   next_round();
   const SimTime now = sim_.now();
+  if (handle_stall(now)) return;
 
   // End-to-end p99 over the last window, from the trace warehouse.
   std::vector<double> rts;

@@ -27,6 +27,7 @@ void HorizontalPodAutoscaler::stop() { tick_event_.cancel(); }
 
 void HorizontalPodAutoscaler::tick() {
   next_round();
+  if (handle_stall(sim_.now())) return;
   for (Managed& m : managed_) {
     Service& svc = *m.service;
     const double util = util_.utilization(svc);

@@ -25,6 +25,7 @@ void VerticalPodAutoscaler::stop() { tick_event_.cancel(); }
 
 void VerticalPodAutoscaler::tick() {
   next_round();
+  if (handle_stall(sim_.now())) return;
   for (Managed& m : managed_) {
     Service& svc = *m.service;
     const double util = util_.utilization(svc);

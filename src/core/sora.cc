@@ -62,12 +62,32 @@ void SoraFramework::control_round() {
   ++control_rounds_;
   const SimTime now = app_.sim().now();
   const char* controller = controller_name();
+  obs::MetricsRegistry& metrics = app_.metrics();
+
+  if (stalled_) {
+    // The control plane is down (fault injection): no localization, no
+    // estimation, no adaptation — but the skipped round must still leave an
+    // auditable record, so a gap in decisions is never ambiguous between
+    // "controller chose nothing" and "controller never ran".
+    metrics.counter("control.rounds_stalled", {{"controller", controller}})
+        .add();
+    if (decision_log_ != nullptr) {
+      obs::ControlDecisionRecord rec;
+      rec.at = now;
+      rec.controller = controller;
+      rec.round = control_rounds_;
+      rec.action = "stalled";
+      rec.fault_kind = "control_stall";
+      rec.reason = "control round skipped: control plane stalled";
+      decision_log_->append(std::move(rec));
+    }
+    return;
+  }
 
   // Critical Service Localization Phase.
   last_report_ = localizer_.analyze();
   localizer_.begin_window();
 
-  obs::MetricsRegistry& metrics = app_.metrics();
   metrics.counter("control.rounds", {{"controller", controller}}).add();
 
   // Resolve the localization verdict once; every knob's record shares it.
@@ -130,7 +150,10 @@ void SoraFramework::control_round() {
 
     // Estimation Phase + Reallocation.
     const ConcurrencyEstimate est = estimator_.estimate(knob);
-    if (est.valid) last_valid_estimate_[knob.label()] = now;
+    if (est.valid) {
+      last_valid_estimate_[knob.label()] = now;
+      last_good_[knob.label()] = LastGoodEstimate{est, now, control_rounds_};
+    }
     const double good_fraction = estimator_.good_fraction(knob);
     const AdaptAction action = adapter_.adapt(
         knob, est, estimator_.concurrency_quantile(knob, 90.0), now,
@@ -179,11 +202,65 @@ void SoraFramework::control_round() {
       rec.estimate_failure = est.failure;
       rec.action = to_string(action.type);
       rec.reason = action.reason;
+      if (!est.valid && action.type == AdaptAction::Type::kNone) {
+        // The scatter window was rejected (too few samples, no knee, ...):
+        // say explicitly what the knob is running on instead.
+        const auto lg = last_good_.find(knob.label());
+        if (lg != last_good_.end()) {
+          rec.reason += "; holding last-known-good knee (recommended " +
+                        std::to_string(lg->second.estimate.recommended) +
+                        " from round " + std::to_string(lg->second.round) +
+                        ")";
+        } else {
+          rec.reason += "; no known-good knee yet, holding configured size";
+        }
+      }
+      if (rec.reason.empty()) rec.reason = "no rationale produced";
       rec.old_size = action.old_size;
       rec.new_size = action.new_size;
       decision_log_->append(std::move(rec));
     }
   }
+
+  if (decision_log_ != nullptr && knobs_.empty()) {
+    // A round with nothing to manage must still be distinguishable from a
+    // round that never ran.
+    obs::ControlDecisionRecord rec;
+    rec.at = now;
+    rec.controller = controller;
+    rec.round = control_rounds_;
+    rec.action = "round";
+    rec.reason = "control round completed with no managed knobs";
+    decision_log_->append(std::move(rec));
+  }
+}
+
+void SoraFramework::on_topology_changed(Service* service,
+                                        const std::string& why) {
+  const SimTime now = app_.sim().now();
+  // Traces gathered so far describe a replica set that no longer exists;
+  // restart the localization window so the next verdict is computed from
+  // post-change evidence only.
+  localizer_.begin_window();
+  for (const ResourceKnob& knob : knobs_) {
+    const bool owns = knob.service() == service;
+    const bool targets =
+        knob.is_edge() && knob.completion_service() == service->id();
+    if (owns || targets) estimator_.clear(knob);
+  }
+  if (decision_log_ != nullptr) {
+    obs::ControlDecisionRecord rec;
+    rec.at = now;
+    rec.controller = controller_name();
+    rec.round = control_rounds_;
+    rec.target = service->name();
+    rec.action = "relocalize";
+    rec.reason = "topology changed (" + why +
+                 "): localization window restarted, affected scatter discarded";
+    decision_log_->append(std::move(rec));
+  }
+  SORA_INFO << "sora: topology changed for " << service->name() << " (" << why
+            << "), relocalizing";
 }
 
 void SoraFramework::on_hardware_scaled(Service* service, double old_cores,

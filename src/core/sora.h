@@ -79,6 +79,21 @@ class SoraFramework {
   void on_hardware_scaled(Service* service, double old_cores, double new_cores,
                           int old_replicas, int new_replicas);
 
+  /// Notify the framework that the replica topology of `service` changed
+  /// outside the paired autoscaler (replica crash/restore). The current
+  /// localization window analyzed a topology that no longer exists, so it
+  /// restarts, and the affected knobs' learned scatter is discarded; a
+  /// "relocalize" record documents why.
+  void on_topology_changed(Service* service, const std::string& why);
+
+  /// Fault-injection hook: while stalled, control_round() skips every phase
+  /// and appends a single "stalled" record per round. Scatter samplers keep
+  /// accumulating, so the first round after the stall ends sees a stale,
+  /// oversized window — exactly the condition the estimator's sample gates
+  /// must survive.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+
   /// Attach a control-decision audit log. One record is appended per
   /// managed knob per control round (including skipped/held knobs) and per
   /// proportional rescale triggered by hardware scaling. Nullptr detaches.
@@ -114,12 +129,23 @@ class SoraFramework {
   std::vector<ResourceKnob> knobs_;
   EventHandle tick_;
   bool running_ = false;
+  bool stalled_ = false;
   std::uint64_t control_rounds_ = 0;
 
   obs::DecisionLog* decision_log_ = nullptr;
   // knob label -> sim time of the last valid estimate (drives the
   // "estimate age" gauge: how stale is the knowledge the knob runs on).
   std::map<std::string, SimTime> last_valid_estimate_;
+  /// Last estimate that passed the model's sample gates, per knob: when a
+  /// round's scatter window is rejected (too few samples, no knee), the
+  /// knob holds this knee instead of moving blind, and the decision record
+  /// says so.
+  struct LastGoodEstimate {
+    ConcurrencyEstimate estimate;
+    SimTime at = 0;
+    std::uint64_t round = 0;
+  };
+  std::map<std::string, LastGoodEstimate> last_good_;
 };
 
 }  // namespace sora

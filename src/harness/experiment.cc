@@ -173,6 +173,10 @@ void Experiment::enable_slo_analytics(SloAnalyticsOptions options) {
   });
 }
 
+void Experiment::enable_faults(FaultPlan plan) {
+  fault_plan_ = std::move(plan);
+}
+
 void Experiment::start_all() {
   if (started_) return;
   started_ = true;
@@ -180,6 +184,20 @@ void Experiment::start_all() {
   for (auto& gen : closed_loops_) gen->start();
   for (auto& fw : frameworks_) fw->start();
   for (auto& sc : scalers_) sc->start();
+  if (fault_plan_.has_value()) {
+    // Built here, not in enable_faults(): the hooks must see every control
+    // plane added to the experiment, whatever the call order was.
+    FaultInjector::Hooks hooks;
+    hooks.sim = &sim_;
+    hooks.app = app_.get();
+    hooks.tracer = &tracer_;
+    hooks.log = &decision_log_;
+    for (auto& fw : frameworks_) hooks.frameworks.push_back(fw.get());
+    for (auto& sc : scalers_) hooks.scalers.push_back(sc.get());
+    fault_injector_ = std::make_unique<FaultInjector>(
+        std::move(*fault_plan_), std::move(hooks), config_.seed);
+    fault_injector_->arm();
+  }
   if (!tracked_.empty()) {
     track_tick_ = sim_.schedule_periodic(config_.timeline_bucket,
                                          [this] { sample_tracked(); });

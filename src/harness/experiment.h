@@ -15,6 +15,7 @@
 #include "autoscale/hpa.h"
 #include "autoscale/vpa.h"
 #include "core/sora.h"
+#include "fault/injector.h"
 #include "metrics/latency_recorder.h"
 #include "obs/budget.h"
 #include "obs/chrome_trace.h"
@@ -113,6 +114,18 @@ class Experiment {
   /// Forward an autoscaler's scale events into a framework (Sora's
   /// Reallocation Module coordination).
   static void link(Autoscaler& scaler, SoraFramework& framework);
+
+  // -- fault injection ----------------------------------------------------------
+
+  /// Attach a deterministic fault plan. The injector is constructed and
+  /// armed at start_all() — after every control plane was added — with RNG
+  /// streams derived from the experiment seed, and records its events into
+  /// this experiment's decision log. Call before the run; last plan wins.
+  void enable_faults(FaultPlan plan);
+  /// The armed injector (outcome counters); null before start_all() or when
+  /// no plan was enabled.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+  const FaultInjector* fault_injector() const { return fault_injector_.get(); }
 
   // -- timelines ----------------------------------------------------------------
 
@@ -216,6 +229,9 @@ class Experiment {
   std::vector<Tracked> tracked_;
   EventHandle track_tick_;
   bool started_ = false;
+
+  std::optional<FaultPlan> fault_plan_;
+  std::unique_ptr<FaultInjector> fault_injector_;
 
   obs::DecisionLog decision_log_;
   std::vector<obs::MetricsSnapshot> metrics_snapshots_;

@@ -33,6 +33,9 @@ void ScatterSampler::stop() {
 
 void ScatterSampler::on_span(const Span& span) {
   if (!running_ || span.service != completion_service_) return;
+  // Aborted visits (crash drops) are error responses, not completions:
+  // they must not inflate goodput with their artificially short durations.
+  if (span.failed) return;
   ++bucket_all_;
   if (span.duration() <= rt_threshold_) ++bucket_good_;
 }
@@ -50,8 +53,12 @@ void ScatterSampler::on_tick() {
   p.goodput = static_cast<double>(bucket_good_) / secs;
   p.throughput = static_cast<double>(bucket_all_) / secs;
   p.capacity = static_cast<double>(knob_.total_capacity());
-  points_.push_back(p);
-  while (points_.size() > max_points_) points_.pop_front();
+  if (bucket_filter_ && !bucket_filter_(p)) {
+    ++samples_dropped_;
+  } else {
+    points_.push_back(p);
+    while (points_.size() > max_points_) points_.pop_front();
+  }
 
   bucket_start_ = now;
   usage_snapshot_ = usage_now;

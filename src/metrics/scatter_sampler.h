@@ -9,7 +9,9 @@
 // Estimation Phase consumes.
 #pragma once
 
+#include <cstdint>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "common/ids.h"
@@ -53,6 +55,15 @@ class ScatterSampler {
   SimTime interval() const { return interval_; }
   const ResourceKnob& knob() const { return knob_; }
 
+  /// Fault-injection hook: when set and returning false for a finished
+  /// bucket, that SamplePoint is discarded instead of entering the scatter
+  /// (models a lost metrics report). Accumulators still reset, so the next
+  /// bucket is unaffected. Pass nullptr to clear.
+  using BucketFilter = std::function<bool(const SamplePoint&)>;
+  void set_bucket_filter(BucketFilter f) { bucket_filter_ = std::move(f); }
+  /// Buckets discarded by the filter over this sampler's lifetime.
+  std::uint64_t samples_dropped() const { return samples_dropped_; }
+
   /// All retained points, oldest first.
   std::vector<SamplePoint> points() const;
   /// Points whose bucket ended at or after `from`.
@@ -73,6 +84,8 @@ class ScatterSampler {
 
   bool running_ = false;
   EventHandle tick_;
+  BucketFilter bucket_filter_;
+  std::uint64_t samples_dropped_ = 0;
 
   // current bucket accumulators
   SimTime bucket_start_ = 0;

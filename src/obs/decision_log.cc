@@ -47,6 +47,8 @@ std::string ControlDecisionRecord::to_json() const {
   }
   if (good_fraction < 1.0) obj.field("good_fraction", good_fraction);
 
+  if (!fault_kind.empty()) obj.field("fault_kind", fault_kind);
+
   if (fast_burn != 0.0 || slow_burn != 0.0) {
     obj.field("fast_burn", fast_burn).field("slow_burn", slow_burn);
   }

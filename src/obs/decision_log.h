@@ -63,10 +63,18 @@ struct ControlDecisionRecord {
   double peak_burn = 0.0;   ///< peak fast burn over the episode (close records)
   SimTime episode_duration = 0;  ///< episode length (close records)
 
+  // -- fault injection ----------------------------------------------------------
+  /// Fault kind on controller=="fault" records (crash_instance,
+  /// cpu_limit_step, span_dropout, span_delay, scatter_dropout,
+  /// control_stall); empty on ordinary controller records.
+  std::string fault_kind;
+
   // -- verdict ------------------------------------------------------------------
-  /// "applied", "explored", "proportional", "none" (soft);
-  /// "scale_up", "scale_down", "scale_out", "scale_in", "hold" (hardware);
-  /// "episode_start", "episode_end" (slo-monitor).
+  /// "applied", "explored", "proportional", "none", "stalled" (soft);
+  /// "scale_up", "scale_down", "scale_out", "scale_in", "hold", "stalled"
+  /// (hardware); "episode_start", "episode_end" (slo-monitor); "crash",
+  /// "crash_refused", "restart", "cpu_step", "fault_start", "fault_end"
+  /// (fault injector).
   std::string action;
   std::string reason;  ///< human-readable why
   int old_size = 0;    ///< pool per-replica size (soft)

@@ -31,6 +31,8 @@ struct ServiceInstance::Visit {
   const CompiledBehavior* behavior = nullptr;
   SimTime blocked_since = 0;
   int pending_calls = 0;  ///< downstream calls outstanding in current group
+  bool in_flight = false;  ///< slab entry currently serving a request
+  bool condemned = false;  ///< crash dropped this visit; abort at next step
 };
 
 ServiceInstance::Visit* ServiceInstance::alloc_visit() {
@@ -48,6 +50,8 @@ void ServiceInstance::free_visit(Visit* v) {
   v->behavior = nullptr;
   v->blocked_since = 0;
   v->pending_calls = 0;
+  v->in_flight = false;
+  v->condemned = false;
   visit_free_.push_back(v);
 }
 
@@ -101,11 +105,22 @@ void ServiceInstance::serve(TraceId trace, SpanId span, int request_class,
   v->request_class = request_class;
   v->done = std::move(done);
   v->behavior = &svc_.behavior(request_class);
+  v->in_flight = true;
 
   entry_pool_.acquire([this, v] { on_admitted(v); });
 }
 
+void ServiceInstance::condemn_in_flight() {
+  for (const auto& v : visit_slab_) {
+    if (v->in_flight) v->condemned = true;
+  }
+}
+
 void ServiceInstance::on_admitted(Visit* v) {
+  if (v->condemned) {
+    abort_visit(v);
+    return;
+  }
   Simulator& sim = svc_.app().sim();
   Tracer& tracer = svc_.app().tracer();
   tracer.span(v->trace, v->span).admitted = sim.now();
@@ -116,6 +131,10 @@ void ServiceInstance::on_admitted(Visit* v) {
 }
 
 void ServiceInstance::run_group(Visit* v, std::size_t group_index) {
+  if (v->condemned) {
+    abort_visit(v);
+    return;
+  }
   if (group_index >= v->behavior->groups.size()) {
     on_groups_done(v);
     return;
@@ -197,6 +216,21 @@ void ServiceInstance::finish(Visit* v) {
   --outstanding_;
   // Recycle the visit before running its continuation: `done` may start a
   // fresh request on this instance, which can then reuse the slot.
+  Done done = std::move(v->done);
+  free_visit(v);
+  done();
+}
+
+void ServiceInstance::abort_visit(Visit* v) {
+  Application& app = svc_.app();
+  app.tracer().span(v->trace, v->span).failed = true;
+  app.tracer().finish_span(v->trace, v->span, app.sim().now());
+  entry_pool_.release();
+  --outstanding_;
+  ++visits_dropped_;
+  app.metrics()
+      .counter("fault.visits_dropped", {{"service", svc_.name()}})
+      .add();
   Done done = std::move(v->done);
   free_visit(v);
   done();

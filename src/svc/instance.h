@@ -45,6 +45,17 @@ class ServiceInstance {
   void set_active(bool a) { active_ = a; }
   int outstanding() const { return outstanding_; }
 
+  /// Fault injection: condemn every in-flight visit. A condemned visit
+  /// aborts at its next continuation (entry admission, group boundary, or
+  /// before the response phase): the span closes immediately with
+  /// `failed = true`, the entry slot is released, and the caller's `done`
+  /// runs as if an error response was returned. CPU slices and downstream
+  /// RPCs already in progress complete first — the simulator has no job
+  /// preemption, and child spans must close through their own services.
+  void condemn_in_flight();
+  /// Visits aborted by condemn_in_flight over this instance's lifetime.
+  std::uint64_t visits_dropped() const { return visits_dropped_; }
+
   CpuScheduler& cpu() { return cpu_; }
   const CpuScheduler& cpu() const { return cpu_; }
   SoftResourcePool& entry_pool() { return entry_pool_; }
@@ -70,11 +81,15 @@ class ServiceInstance {
   void issue_call(Visit* v, std::size_t group_index, std::size_t call_index);
   void on_groups_done(Visit* v);
   void finish(Visit* v);
+  /// Close a condemned visit early: failed span, entry slot released,
+  /// caller's done() invoked (conservation holds — every arrival departs).
+  void abort_visit(Visit* v);
 
   Service& svc_;
   InstanceId id_;
   bool active_ = true;
   int outstanding_ = 0;
+  std::uint64_t visits_dropped_ = 0;
 
   CpuScheduler cpu_;
   SoftResourcePool entry_pool_;

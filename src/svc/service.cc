@@ -101,25 +101,27 @@ void Service::dispatch(TraceId trace, SpanId span, int request_class,
   pick_replica().serve(trace, span, request_class, std::move(done));
 }
 
+void Service::revive(ServiceInstance& inst) {
+  inst.set_active(true);
+  // Bring the revived replica in line with current knob settings.
+  inst.cpu().set_cores(cpu_limit_);
+  inst.entry_pool().resize(entry_pool_size_ <= 0 ? 1'000'000'000
+                                                 : entry_pool_size_);
+  for (std::size_t e = 0; e < edge_pool_sizes_.size(); ++e) {
+    if (auto* pool = inst.edge_pool(static_cast<int>(e))) {
+      pool->resize(std::max(1, edge_pool_sizes_[e]));
+    }
+  }
+  ++active_count_;
+}
+
 void Service::scale_replicas(int target) {
   target = std::max(target, 1);
   // Reactivate drained replicas first, then create fresh ones.
   if (target > active_count_) {
     for (auto& inst : instances_) {
       if (active_count_ >= target) break;
-      if (!inst->active()) {
-        inst->set_active(true);
-        // Bring the revived replica in line with current knob settings.
-        inst->cpu().set_cores(cpu_limit_);
-        inst->entry_pool().resize(entry_pool_size_ <= 0 ? 1'000'000'000
-                                                        : entry_pool_size_);
-        for (std::size_t e = 0; e < edge_pool_sizes_.size(); ++e) {
-          if (auto* pool = inst->edge_pool(static_cast<int>(e))) {
-            pool->resize(std::max(1, edge_pool_sizes_[e]));
-          }
-        }
-        ++active_count_;
-      }
+      if (!inst->active()) revive(*inst);
     }
     while (active_count_ < target) {
       instances_.push_back(
@@ -135,6 +137,34 @@ void Service::scale_replicas(int target) {
       }
     }
   }
+}
+
+bool Service::crash_replica(std::size_t index, bool drop_inflight) {
+  if (index >= instances_.size()) return false;
+  ServiceInstance& inst = *instances_[index];
+  if (!inst.active()) return false;
+  if (active_count_ <= 1) return false;  // never kill the last replica
+  inst.set_active(false);
+  --active_count_;
+  if (drop_inflight) inst.condemn_in_flight();
+  app_.metrics()
+      .counter("fault.crashes", {{"service", name()}})
+      .add();
+  return true;
+}
+
+bool Service::restore_replica(std::size_t index) {
+  if (index >= instances_.size()) return false;
+  ServiceInstance& inst = *instances_[index];
+  if (inst.active()) return false;
+  revive(inst);
+  return true;
+}
+
+std::uint64_t Service::visits_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& inst : instances_) total += inst->visits_dropped();
+  return total;
 }
 
 void Service::set_cpu_limit(double cores) {

@@ -97,6 +97,21 @@ class Service {
   void set_demand_scale(double scale);
   double demand_scale() const { return demand_scale_; }
 
+  // -- fault injection ---------------------------------------------------------
+
+  /// Take replica `index` down. Returns false (and does nothing) when the
+  /// index is invalid, the replica is already down, or it is the last
+  /// active replica — routing requires >= 1 active. With `drop_inflight`,
+  /// in-flight visits abort at their next continuation with failed spans;
+  /// otherwise they drain like a scale-down.
+  bool crash_replica(std::size_t index, bool drop_inflight);
+  /// Bring a crashed/drained replica back with the current knob settings
+  /// (CPU limit, pool sizes). Returns false when the index is invalid or
+  /// the replica is already active.
+  bool restore_replica(std::size_t index);
+  /// Visits aborted by crashes, summed across replicas.
+  std::uint64_t visits_dropped() const;
+
   // -- replica access & aggregates -------------------------------------------
 
   int active_replicas() const { return active_count_; }
@@ -144,6 +159,8 @@ class Service {
   ServiceInstance& pick_replica();
   void note_completion() { ++completions_; }
   void refresh_samplers();
+  /// Reactivate a down replica, syncing it to the current knob settings.
+  void revive(ServiceInstance& inst);
 
   Application& app_;
   ServiceId id_;

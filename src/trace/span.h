@@ -44,6 +44,11 @@ struct Span {
   /// call (parallel waits counted once).
   SimTime downstream_wait = 0;
 
+  /// The visit was aborted (replica crash dropped it mid-flight); the span
+  /// closed early with an error response. Failed spans are excluded from
+  /// goodput/throughput sampling.
+  bool failed = false;
+
   // -- latency-budget annotation (stamped at trace completion when SLO
   // analytics is enabled; see obs/budget.h) -----------------------------------
   /// Propagated local deadline at this hop: the end-to-end SLA minus the

@@ -65,7 +65,11 @@ void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
   assert(open.open_spans > 0);
   --open.open_spans;
 
-  for (const auto& listener : span_listeners_) listener(s);
+  const SpanFate fate =
+      span_interceptor_ ? span_interceptor_(s) : SpanFate::kDeliver;
+  if (fate == SpanFate::kDeliver) {
+    for (const auto& listener : span_listeners_) listener(s);
+  }
 
   const bool is_root = !s.parent.valid();
   if (is_root) {

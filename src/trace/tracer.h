@@ -25,6 +25,18 @@ class Tracer {
   /// what the scatter samplers consume.
   using SpanListener = std::function<void(const Span&)>;
 
+  /// What the span interceptor decided for one completed span's report.
+  enum class SpanFate {
+    kDeliver,  ///< fan out to span listeners now (the default path)
+    kDrop,     ///< suppress the report entirely (lost agent message)
+    kDefer,    ///< the interceptor retained a copy and will redeliver it
+               ///< later via deliver_span (delayed agent message)
+  };
+  /// Gate on span-listener delivery, installed by the fault injector to
+  /// model a lossy/laggy tracing agent. Trace assembly (the warehouse path)
+  /// is unaffected: only the per-span metrics feed is filtered.
+  using SpanInterceptor = std::function<SpanFate(const Span&)>;
+
   /// Start a new trace for a request of the given class. Returns its id.
   TraceId begin_trace(int request_class, SimTime now);
 
@@ -54,6 +66,15 @@ class Tracer {
   void add_span_listener(SpanListener cb) {
     span_listeners_.push_back(std::move(cb));
   }
+  /// Install (or clear, with nullptr) the span-report gate.
+  void set_span_interceptor(SpanInterceptor fn) {
+    span_interceptor_ = std::move(fn);
+  }
+  /// Deliver a span to the span listeners now — used to redeliver a copy
+  /// the interceptor deferred. Safe after the owning trace closed.
+  void deliver_span(const Span& s) {
+    for (const auto& listener : span_listeners_) listener(s);
+  }
 
   /// Number of traces currently in flight (diagnostics / leak checks).
   std::size_t open_traces() const { return open_.size(); }
@@ -74,6 +95,7 @@ class Tracer {
   IdGenerator<SpanId> span_ids_;
   std::unordered_map<std::uint64_t, OpenTrace> open_;
   std::function<void(Trace&)> trace_finalizer_;
+  SpanInterceptor span_interceptor_;
   std::vector<TraceListener> trace_listeners_;
   std::vector<SpanListener> span_listeners_;
   std::uint64_t traces_completed_ = 0;

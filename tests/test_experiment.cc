@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <string>
 
@@ -107,6 +108,24 @@ TEST(Experiment, LinkForwardsScaleEvents) {
     if (a.type == AdaptAction::Type::kProportional) proportional = true;
   }
   EXPECT_TRUE(proportional);
+}
+
+TEST(Experiment, ZeroRequestRunPropagatesNoSample) {
+  // A run whose window saw zero requests must report kNoSample (NaN)
+  // percentiles — not a fake 0 ms tail that reads as "infinitely fast".
+  ExperimentConfig cfg;
+  cfg.duration = sec(5);
+  Experiment exp(testutil::chain_app(0.4), cfg);
+  exp.run();  // no generators attached
+  const ExperimentSummary s = exp.summary();
+  EXPECT_EQ(s.injected, 0u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_TRUE(std::isnan(s.p50_ms));
+  EXPECT_TRUE(std::isnan(s.p95_ms));
+  EXPECT_TRUE(std::isnan(s.p99_ms));
+  // Rate-style aggregates stay well-defined at zero.
+  EXPECT_DOUBLE_EQ(s.throughput_rps, 0.0);
+  EXPECT_DOUBLE_EQ(s.goodput_rps, 0.0);
 }
 
 TEST(Experiment, SummaryPercentilesOrdered) {

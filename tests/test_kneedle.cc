@@ -89,6 +89,59 @@ TEST(Kneedle, ReportsCurveValueAtKnee) {
   EXPECT_DOUBLE_EQ(knee->x, xs[knee->index]);
 }
 
+// Degenerate scatters must be rejected cleanly: nullopt, never a NaN knee,
+// never a throw. These are exactly the windows the estimator sees under
+// fault injection (empty after dropout, flat after a stall, decreasing
+// after overload) before its own sample gates kick in.
+TEST(Kneedle, DegenerateEmptyInput) {
+  EXPECT_FALSE(kneedle({}, {}).has_value());
+}
+
+TEST(Kneedle, DegenerateSinglePoint) {
+  std::vector<double> xs{3.0};
+  std::vector<double> ys{1.0};
+  EXPECT_FALSE(kneedle(xs, ys).has_value());
+}
+
+TEST(Kneedle, DegenerateMonotoneDecreasing) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(100.0 - 3.0 * i);
+  }
+  // restrict_to_rising truncates to the first point -> rejected.
+  EXPECT_FALSE(kneedle(xs, ys).has_value());
+  // Even on the full (falling) curve, no NaN may escape.
+  KneedleOptions opts;
+  opts.restrict_to_rising = false;
+  const auto knee = kneedle(xs, ys, opts);
+  if (knee) {
+    EXPECT_FALSE(std::isnan(knee->x));
+    EXPECT_FALSE(std::isnan(knee->y));
+  }
+}
+
+TEST(Kneedle, DegenerateAllDuplicateX) {
+  std::vector<double> xs{4, 4, 4, 4, 4, 4};
+  std::vector<double> ys{1, 2, 3, 4, 5, 6};
+  // Zero x-range cannot be normalized; rejected, not divided by.
+  EXPECT_FALSE(kneedle(xs, ys).has_value());
+}
+
+TEST(Kneedle, DuplicateXWithinCurveProducesFiniteKnee) {
+  // Concurrency buckets repeat in real scatters; duplicates inside an
+  // otherwise increasing curve must not poison the difference curve.
+  std::vector<double> xs{0, 1, 1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(1.0 - std::exp(-x / 2.0));
+  const auto knee = kneedle(xs, ys);
+  if (knee) {
+    EXPECT_FALSE(std::isnan(knee->x));
+    EXPECT_FALSE(std::isnan(knee->y));
+    EXPECT_LT(knee->index, xs.size());
+  }
+}
+
 // Property: knee recovery across knee positions and noise seeds.
 class KneedleRecovery
     : public ::testing::TestWithParam<std::tuple<double, int>> {};

@@ -110,6 +110,62 @@ TEST(Polynomial, DefaultIsZero) {
   EXPECT_EQ(p.degree(), -1);
 }
 
+// Degenerate scatters: the fit must fail closed (ok == false, poly
+// evaluates to 0) or produce finite values — never NaN, never a throw.
+TEST(Polyfit, DegenerateEmptyInput) {
+  const auto fit = polyfit({}, {}, 2);
+  EXPECT_FALSE(fit.ok);
+  // The documented fallback: a default Polynomial is identically zero.
+  EXPECT_DOUBLE_EQ(fit.poly(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(fit.poly.derivative(1.0), 0.0);
+}
+
+TEST(Polyfit, DegenerateSinglePoint) {
+  std::vector<double> xs{2.0};
+  std::vector<double> ys{5.0};
+  EXPECT_FALSE(polyfit(xs, ys, 2).ok);
+  // Degree 0 on one point is determined: the constant.
+  const auto fit = polyfit(xs, ys, 0);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.poly(123.0), 5.0, 1e-12);
+}
+
+TEST(Polyfit, DegenerateMonotoneDecreasingStaysFinite) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 30; ++i) {
+    xs.push_back(i);
+    ys.push_back(50.0 - 1.5 * i);
+  }
+  const auto fit = polyfit(xs, ys, 5);
+  ASSERT_TRUE(fit.ok);
+  for (double x : xs) {
+    EXPECT_TRUE(std::isfinite(fit.poly(x)));
+    EXPECT_TRUE(std::isfinite(fit.poly.derivative(x)));
+  }
+  EXPECT_TRUE(std::isfinite(fit.r_squared));
+}
+
+TEST(Polyfit, DegenerateDuplicateXMixedInIsFine) {
+  // Repeated abscissae (same concurrency bucket sampled twice) keep the
+  // normal equations well-posed as long as enough distinct x remain.
+  std::vector<double> xs{1, 1, 2, 2, 3, 3, 4, 4, 5, 5};
+  std::vector<double> ys{2, 2.2, 4, 3.8, 6, 6.1, 8, 7.9, 10, 10.2};
+  const auto fit = polyfit(xs, ys, 1);
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.poly.derivative(3.0), 2.0, 0.1);
+  EXPECT_TRUE(std::isfinite(fit.rss));
+}
+
+TEST(Polyfit, DegreeExceedsDistinctXFailsClosed) {
+  // 2 distinct x values cannot support a cubic: the normal equations go
+  // singular and the fit must report !ok instead of returning NaN coeffs.
+  std::vector<double> xs{1, 1, 1, 2, 2, 2};
+  std::vector<double> ys{1, 1, 1, 2, 2, 2};
+  const auto fit = polyfit(xs, ys, 3);
+  EXPECT_FALSE(fit.ok);
+  EXPECT_DOUBLE_EQ(fit.poly(1.5), 0.0);
+}
+
 // Property: fitting a polynomial of degree d with degree >= d recovers it.
 class PolyRecovery : public ::testing::TestWithParam<int> {};
 

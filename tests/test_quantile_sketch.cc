@@ -215,6 +215,39 @@ TEST(QuantileSketch, NegativeAndZeroLandInZeroBucket) {
   EXPECT_DOUBLE_EQ(sk.percentile(100), 10.0);
 }
 
+TEST(QuantileSketch, MergeWithEmptyOtherIsNoop) {
+  QuantileSketch sk(0.01);
+  for (int i = 1; i <= 50; ++i) sk.record(static_cast<double>(i));
+  const std::uint64_t count_before = sk.count();
+  const double p99_before = sk.percentile(99);
+  QuantileSketch empty(0.01);
+  sk.merge(empty);
+  EXPECT_EQ(sk.count(), count_before);
+  EXPECT_DOUBLE_EQ(sk.percentile(99), p99_before);
+  EXPECT_DOUBLE_EQ(sk.min(), 1.0);
+  EXPECT_DOUBLE_EQ(sk.max(), 50.0);
+}
+
+TEST(QuantileSketch, MergeIntoEmptyAdoptsOther) {
+  QuantileSketch empty(0.01);
+  QuantileSketch other(0.01);
+  for (int i = 1; i <= 50; ++i) other.record(static_cast<double>(i));
+  empty.merge(other);
+  EXPECT_EQ(empty.count(), 50u);
+  // Rank rounding on 50 samples lands between 25 and 26, plus 1% sketch
+  // error.
+  EXPECT_NEAR(empty.percentile(50), 25.5, 1.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 1.0);
+}
+
+TEST(QuantileSketch, MergeTwoEmptiesStaysNoSample) {
+  QuantileSketch a(0.01), b(0.01);
+  a.merge(b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(is_no_sample(a.percentile(99)));
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
 TEST(QuantileSketch, WeightedRecord) {
   QuantileSketch sk;
   sk.record(10.0, 99);
