@@ -1,6 +1,7 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -13,6 +14,7 @@
 #include "apps/social_network.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 
 namespace sora::bench {
 
@@ -344,6 +346,52 @@ inline void print_header(const std::string& title, const std::string& paper) {
   std::cout << "\n================================================================\n"
             << title << "\n" << paper << "\n"
             << "================================================================\n";
+}
+
+/// Emit a result table: aligned text to stdout and, when SORA_BENCH_CSV_DIR
+/// is set, a machine-readable copy at <dir>/<name>.csv (directory created if
+/// needed). Every bench funnels its tables through here so the console and
+/// CSV renderings cannot drift apart.
+inline void emit_table(const TextTable& t, const std::string& name) {
+  t.print(std::cout);
+  if (const char* dir = std::getenv("SORA_BENCH_CSV_DIR")) {
+    std::filesystem::create_directories(dir);
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    std::ofstream os(path);
+    t.print_csv(os);
+    std::cout << "[csv] " << path << "\n";
+  }
+}
+
+/// One A/B cell of a paired comparison sweep (e.g. FIRM-only vs FIRM+Sora).
+struct AbTraceResult {
+  CartTraceResult a;
+  CartTraceResult b;
+};
+
+/// Fan out an A/B comparison: each base config is run twice — once with
+/// `adaptation` forced to `a`, once to `b` — through one shared SweepRunner
+/// pass, and the results come back pairwise in input order. Tables 2/3 and
+/// the overload bench all use this instead of hand-interleaving configs.
+inline std::vector<AbTraceResult> run_ab_traces(
+    const std::vector<CartTraceConfig>& bases, SoftAdaptation a,
+    SoftAdaptation b) {
+  std::vector<CartTraceConfig> configs;
+  configs.reserve(bases.size() * 2);
+  for (CartTraceConfig cfg : bases) {
+    cfg.adaptation = a;
+    configs.push_back(cfg);
+    cfg.adaptation = b;
+    configs.push_back(cfg);
+  }
+  const auto flat = SweepRunner().map(
+      configs, [](const CartTraceConfig& cfg) { return run_cart_trace(cfg); });
+  std::vector<AbTraceResult> out;
+  out.reserve(bases.size());
+  for (std::size_t i = 0; i < bases.size(); ++i) {
+    out.push_back({flat[2 * i], flat[2 * i + 1]});
+  }
+  return out;
 }
 
 }  // namespace sora::bench

@@ -3,15 +3,21 @@
 // Times the canonical 1-minute Sock Shop cart simulation (the building
 // block of every figure/table sweep) and reports engine throughput
 // (events/sec, wall-ms per sim-second), then measures the sweep-level
-// serial-vs-parallel speedup. Results are emitted as BENCH_sim.json so
-// future PRs can compare against a recorded baseline.
+// serial-vs-parallel speedup. Results are APPENDED to BENCH_sim.json — a
+// JSON array of runs keyed by git SHA and date — so the repo accumulates a
+// perf trajectory across PRs instead of only remembering the last run.
 //
 // Usage: perf_smoke [output.json]   (default: BENCH_sim.json in the CWD)
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <thread>
 
 #include "bench_util.h"
@@ -95,12 +101,66 @@ struct SweepResult {
 
 bool same_sim_outputs(const ExperimentSummary& a, const ExperimentSummary& b) {
   return a.injected == b.injected && a.completed == b.completed &&
-         a.mean_ms == b.mean_ms && a.p50_ms == b.p50_ms &&
+         a.shed == b.shed && a.mean_ms == b.mean_ms && a.p50_ms == b.p50_ms &&
          a.p95_ms == b.p95_ms && a.p99_ms == b.p99_ms &&
          a.goodput_rps == b.goodput_rps &&
          a.throughput_rps == b.throughput_rps &&
          a.good_fraction == b.good_fraction &&
          a.slo_episodes == b.slo_episodes;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// Short git SHA of HEAD, or "unknown" outside a git checkout.
+std::string git_sha() {
+  std::string sha = "unknown";
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      const std::string line = trim(buf);
+      if (!line.empty()) sha = line;
+    }
+    ::pclose(p);
+  }
+  return sha;
+}
+
+std::string today_utc() {
+  const std::time_t t = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&t, &tm);
+  char buf[16];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d", &tm);
+  return buf;
+}
+
+/// Append `entry` to the JSON trajectory array at `path`. A legacy
+/// single-object file becomes the first element; a missing or unreadable
+/// file starts a fresh array.
+void append_trajectory(const std::string& path, const std::string& entry) {
+  std::string existing;
+  {
+    std::ifstream in(path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    existing = trim(buf.str());
+  }
+  std::ofstream os(path, std::ios::trunc);
+  os << "[\n";
+  if (existing.size() >= 2 && existing.front() == '[' &&
+      existing.back() == ']') {
+    const std::string body =
+        trim(existing.substr(1, existing.size() - 2));
+    if (!body.empty()) os << body << ",\n";
+  } else if (!existing.empty() && existing.front() == '{') {
+    os << existing << ",\n";
+  }
+  os << entry << "\n]\n";
 }
 
 SweepResult run_sweep_probe() {
@@ -153,9 +213,10 @@ int main_impl(int argc, char** argv) {
             << "\n";
 
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
-  std::ofstream os(out_path);
   obs::JsonObject o;
   o.field("bench", "perf_smoke");
+  o.field("git_sha", git_sha());
+  o.field("date", today_utc());
   o.field("engine_events", engine.events);
   o.field("engine_events_cancelled", engine.cancelled);
   o.field("engine_wall_sec", engine.wall_sec);
@@ -169,8 +230,8 @@ int main_impl(int argc, char** argv) {
   o.field("sweep_outputs_match", sweep.identical);
   o.field("host_hardware_concurrency",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
-  os << o << "\n";
-  std::cout << "\nwrote " << out_path << "\n";
+  append_trajectory(out_path, o.str());
+  std::cout << "\nappended to " << out_path << "\n";
   return sweep.identical ? 0 : 1;
 }
 

@@ -209,7 +209,7 @@ int run(int argc, char** argv) {
                    fmt_count(r.visits_dropped), fmt_count(r.fault_records),
                    fmt_count(r.stalled_records)});
   }
-  table.print(std::cout);
+  emit_table(table, "robustness_faults");
 
   // Machine-checkable verdict lines (CI greps these).
   bool all_survived = true;

@@ -225,7 +225,7 @@ int main_impl() {
                    fmt(mape_by_interval[ii][2], 2)});
   }
   std::cout << "\nMAPE [%]:\n";
-  table.print(std::cout);
+  emit_table(table, "table1_sampling_mape");
 
   // Which interval wins per service?
   std::cout << "\nbest interval per service (paper: 100ms for all):\n";

@@ -21,7 +21,7 @@ int main_impl() {
 
   // All 12 runs (FIRM + Sora per trace) are independent; fan them out and
   // read the results back pairwise in trace order.
-  std::vector<CartTraceConfig> configs;
+  std::vector<CartTraceConfig> bases;
   for (TraceShape shape : all_trace_shapes()) {
     CartTraceConfig cfg;
     cfg.shape = shape;
@@ -29,19 +29,16 @@ int main_impl() {
     cfg.sla = msec(400);
     cfg.base_users = 600;
     cfg.peak_users = 2400;
-    cfg.adaptation = SoftAdaptation::kNone;
-    configs.push_back(cfg);
-    cfg.adaptation = SoftAdaptation::kSora;
-    configs.push_back(cfg);
+    bases.push_back(cfg);
   }
-  const auto results = SweepRunner().map(
-      configs, [](const CartTraceConfig& cfg) { return run_cart_trace(cfg); });
+  const auto results =
+      run_ab_traces(bases, SoftAdaptation::kNone, SoftAdaptation::kSora);
 
   const auto shapes = all_trace_shapes();
   for (std::size_t i = 0; i < shapes.size(); ++i) {
     const TraceShape shape = shapes[i];
-    const auto& firm = results[2 * i];
-    const auto& sora = results[2 * i + 1];
+    const auto& firm = results[i].a;
+    const auto& sora = results[i].b;
 
     const bool win = sora.summary.p99_ms < firm.summary.p99_ms &&
                      sora.summary.goodput_rps > firm.summary.goodput_rps;
@@ -56,7 +53,7 @@ int main_impl() {
                    fmt(sora.summary.goodput_rps, 0),
                win ? "yes" : "no"});
   }
-  t.print(std::cout);
+  emit_table(t, "table2_firm_sora_traces");
   std::cout << "\nSora wins (lower p99 AND higher goodput) on " << wins
             << "/6 traces; mean p99 improvement "
             << fmt(p99_ratio_sum / 6.0, 2) << "x (paper: 2.2x average)\n";

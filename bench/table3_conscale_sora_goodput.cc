@@ -21,7 +21,7 @@ int main_impl() {
 
   // 2 SLAs x 6 traces x {ConScale, Sora} = 24 independent runs; fan them
   // all out at once and read them back in enumeration order.
-  std::vector<CartTraceConfig> configs;
+  std::vector<CartTraceConfig> bases;
   for (SimTime sla : slas) {
     for (TraceShape shape : all_trace_shapes()) {
       CartTraceConfig cfg;
@@ -33,14 +33,11 @@ int main_impl() {
       cfg.peak_users = 420;
       cfg.scaler = HardwareScaler::kVpa;
       cfg.max_cores = 6.0;
-      cfg.adaptation = SoftAdaptation::kConScale;
-      configs.push_back(cfg);
-      cfg.adaptation = SoftAdaptation::kSora;
-      configs.push_back(cfg);
+      bases.push_back(cfg);
     }
   }
-  const auto results = SweepRunner().map(
-      configs, [](const CartTraceConfig& cfg) { return run_cart_trace(cfg); });
+  const auto results =
+      run_ab_traces(bases, SoftAdaptation::kConScale, SoftAdaptation::kSora);
 
   std::size_t next = 0;
   for (SimTime sla : slas) {
@@ -50,8 +47,9 @@ int main_impl() {
     std::vector<std::string> conscale_row, sora_row;
     std::vector<double> conscale_gp, sora_gp;
     for ([[maybe_unused]] TraceShape shape : all_trace_shapes()) {
-      const auto& conscale = results[next++];
-      const auto& sora = results[next++];
+      const auto& conscale = results[next].a;
+      const auto& sora = results[next].b;
+      ++next;
 
       conscale_gp.push_back(conscale.summary.goodput_rps);
       sora_gp.push_back(sora.summary.goodput_rps);
@@ -64,7 +62,7 @@ int main_impl() {
     sora_row.insert(sora_row.begin(), "Sora");
     t.add_row(conscale_row);
     t.add_row(sora_row);
-    t.print(std::cout);
+    emit_table(t, "table3_goodput_sla" + fmt(to_msec(sla), 0) + "ms");
   }
   std::cout << "\nSora goodput >= ConScale in " << wins << "/" << cells
             << " cells (paper: all)\n";

@@ -1,0 +1,39 @@
+// Request metadata threaded from the workload generators down the call
+// chain: class, priority and the propagated absolute deadline.
+//
+// Priorities make load shedding selective (batch traffic is sacrificed
+// before interactive traffic); the deadline lets the admission layer
+// fast-reject requests that can no longer meet their SLA instead of
+// queueing them past it (CoDel-style "drop at the front door").
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace sora {
+
+/// Request priority class. kHigh is interactive / latency-sensitive
+/// traffic; kBatch is throughput traffic that is shed first under overload.
+enum class Priority : std::uint8_t { kHigh = 0, kBatch = 1 };
+
+inline constexpr int kNumPriorities = 2;
+
+inline const char* to_string(Priority p) {
+  return p == Priority::kHigh ? "high" : "batch";
+}
+
+/// Metadata carried by one end-user request and inherited by every
+/// downstream call it issues.
+struct RequestMeta {
+  int request_class = 0;
+  Priority priority = Priority::kHigh;
+  /// Absolute deadline (sim time) by which the end-to-end response must
+  /// leave the front-end; 0 = no deadline. Stamped by the Application from
+  /// ApplicationConfig::request_sla when the generator left it unset, and
+  /// propagated verbatim to downstream calls (an absolute deadline needs no
+  /// per-hop arithmetic).
+  SimTime deadline = 0;
+};
+
+}  // namespace sora

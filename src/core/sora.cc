@@ -153,6 +153,15 @@ void SoraFramework::control_round() {
     if (est.valid) {
       last_valid_estimate_[knob.label()] = now;
       last_good_[knob.label()] = LastGoodEstimate{est, now, control_rounds_};
+      // Publish the knee to the knob service's admission controller (if
+      // one is installed): knee-coupled admission caps admitted concurrency
+      // at the knee the SCG model just fitted. knee_concurrency is already
+      // the aggregate across replicas — exactly the admission unit.
+      Service* knee_svc = knob.is_edge() ? app_.service(knob.completion_service())
+                                         : knob.service();
+      if (knee_svc != nullptr && knee_svc->admission() != nullptr) {
+        knee_svc->admission()->set_knee(est.knee_concurrency, now);
+      }
     }
     const double good_fraction = estimator_.good_fraction(knob);
     const AdaptAction action = adapter_.adapt(

@@ -1,13 +1,38 @@
 #include "harness/experiment.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
+
+#include "common/log.h"
 
 namespace sora {
 
+namespace {
+/// SORA_SEED environment override: returns `configured` unless the variable
+/// is set to a parseable unsigned integer.
+std::uint64_t resolve_seed(std::uint64_t configured) {
+  const char* env = std::getenv("SORA_SEED");
+  if (env == nullptr || *env == '\0') return configured;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0') {
+    SORA_WARN << "experiment: ignoring unparseable SORA_SEED=\"" << env << '"';
+    return configured;
+  }
+  SORA_INFO << "experiment: seed " << parsed << " (SORA_SEED override of "
+            << configured << ")";
+  return static_cast<std::uint64_t>(parsed);
+}
+}  // namespace
+
 Experiment::Experiment(ApplicationConfig app_config, ExperimentConfig config)
     : config_(config), warehouse_(config.warehouse_capacity) {
+  config_.seed = resolve_seed(config_.seed);
   warehouse_.attach(tracer_);
+  // Deadline-aware admission needs requests to carry the end-to-end SLA;
+  // stamp it as the default deadline unless the topology set its own.
+  if (app_config.request_sla == 0) app_config.request_sla = config_.sla;
   app_ = std::make_unique<Application>(sim_, tracer_, std::move(app_config),
                                        config_.seed);
   recorder_ = std::make_unique<LatencyRecorder>(sim_, config_.sla,
@@ -23,7 +48,12 @@ OpenLoopGenerator& Experiment::open_loop(const WorkloadTrace& trace,
       sim_, *app_, trace,
       config_.seed ^ (0x9d5ab1c2e3f40517ULL + open_loops_.size()));
   gen->set_mix(std::move(mix));
-  gen->set_observer([this](SimTime, int, SimTime rt) { recorder_->record(rt); });
+  gen->set_observer([this](SimTime, int, SimTime rt, bool ok) {
+    recorder_->record(rt, ok);
+    if (!ok && slo_monitor_ != nullptr) {
+      slo_monitor_->record("e2e", sim_.now(), false);
+    }
+  });
   open_loops_.push_back(std::move(gen));
   return *open_loops_.back();
 }
@@ -34,7 +64,12 @@ ClosedLoopGenerator& Experiment::closed_loop(int users, SimTime think_mean,
       sim_, *app_, users, think_mean,
       config_.seed ^ (0x5bd1e995a7c4f832ULL + closed_loops_.size()));
   gen->set_mix(std::move(mix));
-  gen->set_observer([this](SimTime, int, SimTime rt) { recorder_->record(rt); });
+  gen->set_observer([this](SimTime, int, SimTime rt, bool ok) {
+    recorder_->record(rt, ok);
+    if (!ok && slo_monitor_ != nullptr) {
+      slo_monitor_->record("e2e", sim_.now(), false);
+    }
+  });
   closed_loops_.push_back(std::move(gen));
   return *closed_loops_.back();
 }
@@ -158,6 +193,10 @@ void Experiment::enable_slo_analytics(SloAnalyticsOptions options) {
       [this](Trace& t) { obs::annotate_budget(t, config_.sla); });
 
   tracer_.add_trace_listener([this](const Trace& t) {
+    // Traces with a shed hop never produced an end-user response; the
+    // generator observer already recorded the rejection against the e2e
+    // SLO, and budget attribution over a rejected trace is meaningless.
+    if (t.rejected()) return;
     const obs::TraceBudget budget = obs::attribute_budget(t, config_.sla);
     attributor_->on_budget(budget, t.end);
     slo_monitor_->record("e2e", t.end, budget.met_sla);
@@ -175,6 +214,20 @@ void Experiment::enable_slo_analytics(SloAnalyticsOptions options) {
 
 void Experiment::enable_faults(FaultPlan plan) {
   fault_plan_ = std::move(plan);
+}
+
+AdmissionController& Experiment::enable_admission(const std::string& service,
+                                                  AdmissionOptions options) {
+  Service* svc = app_->service(service);
+  if (svc == nullptr) {
+    throw std::invalid_argument("enable_admission: unknown service " + service);
+  }
+  auto controller = std::make_unique<AdmissionController>(service, options);
+  controller->set_decision_log(&decision_log_);
+  controller->set_metrics(&app_->metrics());
+  AdmissionController* ptr = controller.get();
+  svc->set_admission(std::move(controller));
+  return *ptr;
 }
 
 void Experiment::start_all() {
@@ -238,6 +291,7 @@ ExperimentSummary Experiment::summary() const {
   ExperimentSummary s;
   s.injected = app_->injected();
   s.completed = app_->completed();
+  s.shed = recorder_->shed();
   s.mean_ms = recorder_->mean_ms();
   s.p50_ms = recorder_->percentile_ms(50.0);
   s.p95_ms = recorder_->percentile_ms(95.0);

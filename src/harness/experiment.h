@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "admission/controller.h"
 #include "autoscale/firm.h"
 #include "autoscale/hpa.h"
 #include "autoscale/vpa.h"
@@ -45,6 +46,10 @@ struct SloAnalyticsOptions {
 };
 
 struct ExperimentConfig {
+  /// Base RNG seed. Overridable at runtime via the SORA_SEED environment
+  /// variable (parsed as an unsigned integer; logged at construction), so
+  /// a rebuilt binary is not needed to rerun an experiment under a
+  /// different seed.
   std::uint64_t seed = 42;
   SimTime duration = minutes(12);
   /// End-to-end SLA used for client-side goodput reporting.
@@ -68,6 +73,9 @@ struct ServiceTimelinePoint {
 struct ExperimentSummary {
   std::uint64_t injected = 0;
   std::uint64_t completed = 0;
+  /// End-user requests rejected by admission control (client view: fast
+  /// error responses). Excluded from the latency percentiles below.
+  std::uint64_t shed = 0;
   double mean_ms = 0.0;
   /// Tail percentiles from the recorder's mergeable quantile sketch
   /// (relative error bounded by the sketch accuracy, default 1%).
@@ -114,6 +122,16 @@ class Experiment {
   /// Forward an autoscaler's scale events into a framework (Sora's
   /// Reallocation Module coordination).
   static void link(Autoscaler& scaler, SoraFramework& framework);
+
+  // -- admission control ---------------------------------------------------------
+
+  /// Install an admission controller on `service`, wired into this
+  /// experiment's decision log and the application's metrics registry.
+  /// Shed records land in decision_log(); shed/admit counters and the limit
+  /// gauge in app().metrics(). Returns the controller for knob access.
+  /// Call before the run; one controller per service (last call wins).
+  AdmissionController& enable_admission(const std::string& service,
+                                        AdmissionOptions options = {});
 
   // -- fault injection ----------------------------------------------------------
 

@@ -20,10 +20,15 @@ TimelineBucket& LatencyRecorder::bucket_for(SimTime t) {
   return timeline_[idx];
 }
 
-void LatencyRecorder::record(SimTime rt) {
+void LatencyRecorder::record(SimTime rt, bool ok) {
+  TimelineBucket& b = bucket_for(sim_.now());
+  if (!ok) {
+    ++shed_;
+    ++b.shed;
+    return;
+  }
   hist_.record(rt);
   sketch_.record(static_cast<double>(rt));
-  TimelineBucket& b = bucket_for(sim_.now());
   ++b.completed;
   if (rt <= sla_) ++b.good;
   b.sum_rt += static_cast<double>(rt);
@@ -43,10 +48,13 @@ double LatencyRecorder::average_goodput() const {
 }
 
 double LatencyRecorder::good_fraction() const {
-  if (count() == 0) return 0.0;
+  // Shed requests count against the denominator: a rejection is not a
+  // within-SLA response, even though it never entered the latency sketch.
+  const std::uint64_t total = count() + shed_;
+  if (total == 0) return 0.0;
   std::uint64_t good = 0;
   for (const auto& b : timeline_) good += b.good;
-  return static_cast<double>(good) / static_cast<double>(count());
+  return static_cast<double>(good) / static_cast<double>(total);
 }
 
 LinearHistogram LatencyRecorder::distribution_ms(double bucket_ms,

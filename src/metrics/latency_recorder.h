@@ -24,6 +24,7 @@ struct TimelineBucket {
   SimTime start = 0;
   std::uint64_t completed = 0;
   std::uint64_t good = 0;  ///< rt <= sla threshold
+  std::uint64_t shed = 0;  ///< rejected by admission control
   double sum_rt = 0.0;     ///< microseconds
   SimTime max_rt = 0;
 
@@ -41,12 +42,18 @@ class LatencyRecorder {
   /// `bucket` is the timeline resolution.
   LatencyRecorder(Simulator& sim, SimTime sla, SimTime bucket = sec(1));
 
-  /// Record one completed request.
-  void record(SimTime rt);
+  /// Record one completed request. `ok == false` means admission control
+  /// shed it: the rejection counts against goodput (it is not a served
+  /// response) but stays out of the latency sketch/histogram, so
+  /// percentiles describe admitted requests only.
+  void record(SimTime rt, bool ok = true);
 
   // -- summary ----------------------------------------------------------------
 
+  /// Served (admitted and completed) requests.
   std::uint64_t count() const { return sketch_.count(); }
+  /// Requests rejected by admission control.
+  std::uint64_t shed() const { return shed_; }
   /// p-th response-time percentile in milliseconds, answered by the quantile
   /// sketch (relative error bounded by the sketch's accuracy, default 1%).
   /// Returns kNoSample when nothing has been recorded.
@@ -83,6 +90,7 @@ class LatencyRecorder {
   SimTime sla_;
   SimTime bucket_;
   SimTime start_;
+  std::uint64_t shed_ = 0;
   LatencyHistogram hist_;
   obs::QuantileSketch sketch_;
   std::vector<TimelineBucket> timeline_;

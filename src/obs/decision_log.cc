@@ -47,6 +47,17 @@ std::string ControlDecisionRecord::to_json() const {
   }
   if (good_fraction < 1.0) obj.field("good_fraction", good_fraction);
 
+  if (!policy.empty()) {
+    obj.field("policy", policy).field("admission_limit", admission_limit);
+    if (remaining_deadline != 0) {
+      obj.field("remaining_deadline_ms", to_msec(remaining_deadline));
+    }
+    if (!priority.empty()) obj.field("priority", priority);
+    if (!estimate_valid && knee_concurrency > 0.0) {
+      obj.field("knee_concurrency", knee_concurrency);
+    }
+  }
+
   if (!fault_kind.empty()) obj.field("fault_kind", fault_kind);
 
   if (fast_burn != 0.0 || slow_burn != 0.0) {

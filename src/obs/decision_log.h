@@ -63,6 +63,14 @@ struct ControlDecisionRecord {
   double peak_burn = 0.0;   ///< peak fast burn over the episode (close records)
   SimTime episode_duration = 0;  ///< episode length (close records)
 
+  // -- admission control ---------------------------------------------------------
+  /// Admission policy on controller=="admission" records (token_bucket,
+  /// aimd, gradient, knee_coupled); empty otherwise.
+  std::string policy;
+  double admission_limit = 0.0;  ///< effective concurrency/rate limit
+  SimTime remaining_deadline = 0;  ///< deadline - now at the decision (0=none)
+  std::string priority;            ///< "high" / "batch"
+
   // -- fault injection ----------------------------------------------------------
   /// Fault kind on controller=="fault" records (crash_instance,
   /// cpu_limit_step, span_dropout, span_delay, scatter_dropout,

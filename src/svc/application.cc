@@ -48,6 +48,10 @@ Application::Application(Simulator& sim, Tracer& tracer,
           static_cast<double>(span.duration()));
     }
   });
+  // Served-vs-rejected verdict for the injection callback (see
+  // last_trace_ok_ in the header for the ordering argument).
+  tracer_.add_trace_listener(
+      [this](const Trace& trace) { last_trace_ok_ = !trace.rejected(); });
 }
 
 Application::~Application() = default;
@@ -79,19 +83,42 @@ Service& Application::entry_service(int request_class) {
   return *entries_.begin()->second;
 }
 
-void Application::inject(int request_class,
-                         std::function<void(SimTime)> on_complete) {
+void Application::inject(const RequestMeta& meta, Completion on_complete) {
   ++injected_;
   const SimTime start = sim_.now();
-  const TraceId trace = tracer_.begin_trace(request_class, start);
-  Service& entry = entry_service(request_class);
-  const SpanId root = tracer_.start_span(trace, SpanId{}, entry.id(),
-                                         InstanceId{}, request_class, start);
-  entry.dispatch(trace, root, request_class,
-                 [this, start, cb = std::move(on_complete)] {
-                   ++completed_;
-                   cb(sim_.now() - start);
-                 });
+  Service& entry = entry_service(meta.request_class);
+
+  RequestMeta request = meta;
+  if (request.deadline == 0 && config_.request_sla > 0) {
+    request.deadline = start + config_.request_sla;
+  }
+
+  // Front-door admission: shed before any trace exists, so rejections are
+  // effectively free (~0 latency) and invisible to the trace pipeline.
+  bool pre_admitted = false;
+  if (AdmissionController* adm = entry.admission()) {
+    const AdmissionDecision d = adm->decide(request, start);
+    if (!d.admit) {
+      ++shed_;
+      metrics_.counter("app.shed", {{"service", entry.name()}}).add();
+      on_complete(0, false);
+      return;
+    }
+    adm->on_admit(start);
+    pre_admitted = true;
+  }
+
+  const TraceId trace = tracer_.begin_trace(request.request_class, start);
+  const SpanId root =
+      tracer_.start_span(trace, SpanId{}, entry.id(), InstanceId{},
+                         request.request_class, start);
+  entry.dispatch(
+      trace, root, request,
+      [this, start, cb = std::move(on_complete)] {
+        ++completed_;
+        cb(sim_.now() - start, last_trace_ok_);
+      },
+      pre_admitted);
 }
 
 void Application::publish_metrics() {
@@ -100,6 +127,7 @@ void Application::publish_metrics() {
   metrics_.gauge("app.in_flight").set(static_cast<double>(in_flight()));
   metrics_.counter("app.injected").set_total(static_cast<double>(injected_));
   metrics_.counter("app.completed").set_total(static_cast<double>(completed_));
+  metrics_.counter("app.shed_total").set_total(static_cast<double>(shed_));
 }
 
 void Application::deliver(UniqueFunction fn) {

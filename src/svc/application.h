@@ -38,10 +38,16 @@ class Application : public LoadTarget {
 
   // -- LoadTarget -------------------------------------------------------------
 
-  /// Inject one end-user request of the given class. `on_complete` receives
-  /// the end-to-end response time when the response leaves the front-end.
-  void inject(int request_class,
-              std::function<void(SimTime response_time)> on_complete) override;
+  using LoadTarget::inject;
+
+  /// Inject one end-user request. `on_complete` receives the end-to-end
+  /// response time when the response leaves the front-end, plus whether it
+  /// was actually served. Requests without a deadline pick one up from
+  /// config.request_sla (when set). When the entry service has an admission
+  /// controller, requests may be shed at the front door: the callback fires
+  /// synchronously with (0, false) — no trace is created, so shed requests
+  /// never pollute the trace warehouse or the concurrency estimator.
+  void inject(const RequestMeta& meta, Completion on_complete) override;
 
   // -- lookup ------------------------------------------------------------------
 
@@ -71,10 +77,13 @@ class Application : public LoadTarget {
   IdGenerator<InstanceId>& instance_ids() { return instance_ids_; }
   Rng& rng() { return rng_; }
 
-  /// Total requests injected / completed (conservation checks).
+  /// Total requests injected / completed / shed (conservation checks).
+  /// Shed requests never enter the system: injected = completed + shed +
+  /// in_flight.
   std::uint64_t injected() const { return injected_; }
   std::uint64_t completed() const { return completed_; }
-  std::uint64_t in_flight() const { return injected_ - completed_; }
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t in_flight() const { return injected_ - completed_ - shed_; }
 
   /// Deliver a message across the network: runs `fn` after the configured
   /// network latency (synchronously when latency is 0).
@@ -98,6 +107,12 @@ class Application : public LoadTarget {
 
   std::uint64_t injected_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t shed_ = 0;  ///< front-door sheds (no trace ever created)
+  /// Whether the most recently assembled trace was served end-to-end (no
+  /// hop rejected by admission). Trace listeners run synchronously inside
+  /// the root finish_span, before the root's done() continuation, so this
+  /// is always fresh when the injection callback fires.
+  bool last_trace_ok_ = true;
 };
 
 }  // namespace sora

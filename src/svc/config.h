@@ -120,6 +120,10 @@ struct ApplicationConfig {
   /// One-way network latency added to each inter-service message
   /// (paper assumes negligible; default 0).
   SimTime network_latency = 0;
+  /// End-to-end deadline stamped onto injected requests that carry none
+  /// (0 = requests stay deadline-free). Deadline-aware admission shedding
+  /// keys off this.
+  SimTime request_sla = 0;
 };
 
 }  // namespace sora

@@ -27,6 +27,9 @@ struct ServiceInstance::Visit {
   TraceId trace;
   SpanId span;
   int request_class = 0;
+  Priority priority = Priority::kHigh;
+  SimTime deadline = 0;  ///< absolute; propagated to downstream calls
+  SimTime arrived = 0;   ///< serve() time; visit RTT = departure - arrived
   Done done;
   const CompiledBehavior* behavior = nullptr;
   SimTime blocked_since = 0;
@@ -48,6 +51,9 @@ ServiceInstance::Visit* ServiceInstance::alloc_visit() {
 void ServiceInstance::free_visit(Visit* v) {
   v->done.reset();
   v->behavior = nullptr;
+  v->priority = Priority::kHigh;
+  v->deadline = 0;
+  v->arrived = 0;
   v->blocked_since = 0;
   v->pending_calls = 0;
   v->in_flight = false;
@@ -93,7 +99,7 @@ const SoftResourcePool* ServiceInstance::edge_pool(int edge_index) const {
   return const_cast<ServiceInstance*>(this)->edge_pool(edge_index);
 }
 
-void ServiceInstance::serve(TraceId trace, SpanId span, int request_class,
+void ServiceInstance::serve(TraceId trace, SpanId span, const RequestMeta& meta,
                             Done done) {
   ++outstanding_;
   Tracer& tracer = svc_.app().tracer();
@@ -102,9 +108,12 @@ void ServiceInstance::serve(TraceId trace, SpanId span, int request_class,
   Visit* v = alloc_visit();
   v->trace = trace;
   v->span = span;
-  v->request_class = request_class;
+  v->request_class = meta.request_class;
+  v->priority = meta.priority;
+  v->deadline = meta.deadline;
+  v->arrived = svc_.app().sim().now();
   v->done = std::move(done);
-  v->behavior = &svc_.behavior(request_class);
+  v->behavior = &svc_.behavior(meta.request_class);
   v->in_flight = true;
 
   entry_pool_.acquire([this, v] { on_admitted(v); });
@@ -178,7 +187,8 @@ void ServiceInstance::issue_call(Visit* v, std::size_t group_index,
     Application& app2 = svc_.app();
     app2.deliver([this, v, child, gate, target, group_index, child_slot] {
       target->dispatch(
-          v->trace, child, v->request_class,
+          v->trace, child,
+          RequestMeta{v->request_class, v->priority, v->deadline},
           [this, v, gate, group_index, child_slot] {
             Application& app3 = svc_.app();
             app3.deliver([this, v, gate, group_index, child_slot] {
@@ -212,6 +222,7 @@ void ServiceInstance::finish(Visit* v) {
   Application& app = svc_.app();
   app.tracer().finish_span(v->trace, v->span, app.sim().now());
   svc_.note_completion();
+  svc_.note_request_departure(app.sim().now() - v->arrived, true);
   entry_pool_.release();
   --outstanding_;
   // Recycle the visit before running its continuation: `done` may start a
@@ -225,6 +236,7 @@ void ServiceInstance::abort_visit(Visit* v) {
   Application& app = svc_.app();
   app.tracer().span(v->trace, v->span).failed = true;
   app.tracer().finish_span(v->trace, v->span, app.sim().now());
+  svc_.note_request_departure(app.sim().now() - v->arrived, false);
   entry_pool_.release();
   --outstanding_;
   ++visits_dropped_;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "admission/request.h"
 #include "common/function.h"
 #include "common/ids.h"
 #include "common/rng.h"
@@ -38,7 +39,9 @@ class ServiceInstance {
 
   /// Serve a request visit whose span `span` was already opened by the
   /// caller (arrival stamped). `done` runs after the span is finished.
-  void serve(TraceId trace, SpanId span, int request_class, Done done);
+  /// `meta` carries the class plus the admission metadata (priority,
+  /// deadline) propagated to downstream calls.
+  void serve(TraceId trace, SpanId span, const RequestMeta& meta, Done done);
 
   InstanceId id() const { return id_; }
   bool active() const { return active_; }

@@ -4,11 +4,14 @@
 
 namespace sora {
 
-std::size_t LoadBalancer::pick(const std::vector<int>& outstanding) {
+std::size_t LoadBalancer::pick(const std::vector<int>& outstanding,
+                               Priority priority) {
   assert(!outstanding.empty());
   switch (policy_) {
-    case LoadBalancePolicy::kRoundRobin:
-      return static_cast<std::size_t>(rr_next_++ % outstanding.size());
+    case LoadBalancePolicy::kRoundRobin: {
+      std::uint64_t& next = rr_next_[static_cast<std::size_t>(priority)];
+      return static_cast<std::size_t>(next++ % outstanding.size());
+    }
     case LoadBalancePolicy::kLeastOutstanding: {
       std::size_t best = 0;
       for (std::size_t i = 1; i < outstanding.size(); ++i) {

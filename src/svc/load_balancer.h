@@ -4,11 +4,18 @@
 // smarter client-side policy. Round robin is the default because the paper's
 // HPA experiments rely on the workload imbalance it produces right after a
 // scale-out (Section 5.3).
+//
+// Round-robin keeps one rotation counter per admission priority class so
+// that batch traffic cannot skew the replica sequence the high-priority
+// stream sees (and an all-high workload is bit-identical to the
+// pre-priority behaviour).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "admission/request.h"
 
 namespace sora {
 
@@ -21,14 +28,15 @@ class LoadBalancer {
 
   /// Pick an index given per-candidate outstanding request counts.
   /// `outstanding.size()` is the number of active replicas (must be >= 1).
-  std::size_t pick(const std::vector<int>& outstanding);
+  std::size_t pick(const std::vector<int>& outstanding,
+                   Priority priority = Priority::kHigh);
 
   LoadBalancePolicy policy() const { return policy_; }
   void set_policy(LoadBalancePolicy p) { policy_ = p; }
 
  private:
   LoadBalancePolicy policy_;
-  std::uint64_t rr_next_ = 0;
+  std::uint64_t rr_next_[kNumPriorities] = {};
 };
 
 }  // namespace sora

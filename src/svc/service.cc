@@ -5,6 +5,7 @@
 #include "common/log.h"
 #include "sim/simulator.h"
 #include "svc/application.h"
+#include "trace/tracer.h"
 
 namespace sora {
 
@@ -81,7 +82,7 @@ const CompiledBehavior& Service::behavior(int request_class) const {
   return behaviors_.front();
 }
 
-ServiceInstance& Service::pick_replica() {
+ServiceInstance& Service::pick_replica(Priority priority) {
   assert(active_count_ > 0 && "dispatch to service with no active replicas");
   // Collect outstanding counts of active replicas in order.
   pick_outstanding_.clear();
@@ -92,13 +93,35 @@ ServiceInstance& Service::pick_replica() {
       pick_index_.push_back(i);
     }
   }
-  const std::size_t pick = lb_.pick(pick_outstanding_);
+  const std::size_t pick = lb_.pick(pick_outstanding_, priority);
   return *instances_[pick_index_[pick]];
 }
 
-void Service::dispatch(TraceId trace, SpanId span, int request_class,
-                       UniqueFunction done) {
-  pick_replica().serve(trace, span, request_class, std::move(done));
+void Service::dispatch(TraceId trace, SpanId span, const RequestMeta& meta,
+                       UniqueFunction done, bool pre_admitted) {
+  if (admission_ != nullptr && !pre_admitted) {
+    const SimTime now = app_.sim().now();
+    const AdmissionDecision d = admission_->decide(meta, now);
+    if (!d.admit) {
+      // Shed a mid-chain call: close the caller-opened span as a rejected
+      // error response. The caller sees an (instant) error return.
+      Tracer& tracer = app_.tracer();
+      Span& s = tracer.span(trace, span);
+      s.failed = true;
+      s.rejected = true;
+      tracer.finish_span(trace, span, now);
+      done();
+      return;
+    }
+    admission_->on_admit(now);
+  }
+  pick_replica(meta.priority).serve(trace, span, meta, std::move(done));
+}
+
+void Service::note_request_departure(SimTime rtt, bool ok) {
+  if (admission_ != nullptr) {
+    admission_->on_departure(app_.sim().now(), rtt, ok);
+  }
 }
 
 void Service::revive(ServiceInstance& inst) {

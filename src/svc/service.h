@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "admission/controller.h"
+#include "admission/request.h"
 #include "common/function.h"
 #include "common/ids.h"
 #include "common/rng.h"
@@ -62,9 +64,29 @@ class Service {
 
   // -- request path ----------------------------------------------------------
 
-  /// Route a call (span already opened by the caller) to a replica.
-  void dispatch(TraceId trace, SpanId span, int request_class,
-                UniqueFunction done);
+  /// Route a call (span already opened by the caller) to a replica. When an
+  /// admission controller is installed and `pre_admitted` is false, the call
+  /// is first run through admission: a shed closes the span immediately as a
+  /// rejected error response (failed + rejected) and invokes `done`.
+  /// `pre_admitted` is set by Application::inject for root requests it
+  /// already admitted at the front door.
+  void dispatch(TraceId trace, SpanId span, const RequestMeta& meta,
+                UniqueFunction done, bool pre_admitted = false);
+
+  // -- admission control -------------------------------------------------------
+
+  /// Install (or replace) this service's admission controller. Pass nullptr
+  /// to remove it.
+  void set_admission(std::unique_ptr<AdmissionController> controller) {
+    admission_ = std::move(controller);
+  }
+  AdmissionController* admission() { return admission_.get(); }
+  const AdmissionController* admission() const { return admission_.get(); }
+
+  /// Completion feedback from replicas: every admitted request that departs
+  /// (served or aborted) reports its visit round-trip time here so the
+  /// adaptive limits can track latency. No-op without a controller.
+  void note_request_departure(SimTime rtt, bool ok);
 
   /// Behaviour for a class (falls back to class 0).
   const CompiledBehavior& behavior(int request_class) const;
@@ -156,7 +178,7 @@ class Service {
  private:
   friend class ServiceInstance;
 
-  ServiceInstance& pick_replica();
+  ServiceInstance& pick_replica(Priority priority);
   void note_completion() { ++completions_; }
   void refresh_samplers();
   /// Reactivate a down replica, syncing it to the current knob settings.
@@ -177,6 +199,7 @@ class Service {
   std::vector<std::unique_ptr<ServiceInstance>> instances_;
   int active_count_ = 0;
   LoadBalancer lb_;
+  std::unique_ptr<AdmissionController> admission_;
 
   double cpu_limit_;
   int entry_pool_size_;

@@ -49,6 +49,11 @@ struct Span {
   /// goodput/throughput sampling.
   bool failed = false;
 
+  /// The request was shed by the service's admission controller before it
+  /// reached a replica (failed is also set — rejection is an error response
+  /// — but rejected distinguishes deliberate shedding from crash aborts).
+  bool rejected = false;
+
   // -- latency-budget annotation (stamped at trace completion when SLO
   // analytics is enabled; see obs/budget.h) -----------------------------------
   /// Propagated local deadline at this hop: the end-to-end SLA minus the
@@ -82,6 +87,15 @@ struct Trace {
 
   SimTime response_time() const { return end - start; }
   const Span& root() const { return spans.front(); }
+
+  /// True when any hop of this request was shed by admission control (the
+  /// end-user saw a rejection, not a served response).
+  bool rejected() const {
+    for (const Span& s : spans) {
+      if (s.rejected) return true;
+    }
+    return false;
+  }
 };
 
 }  // namespace sora

@@ -24,6 +24,24 @@ void RequestMix::set_weights(std::vector<std::pair<int, double>> weights) {
   assert(total_ > 0.0);
 }
 
+RequestMix& RequestMix::with_priority(int request_class, Priority priority) {
+  for (auto& [cls, p] : priorities_) {
+    if (cls == request_class) {
+      p = priority;
+      return *this;
+    }
+  }
+  priorities_.emplace_back(request_class, priority);
+  return *this;
+}
+
+Priority RequestMix::priority_of(int request_class) const {
+  for (const auto& [cls, p] : priorities_) {
+    if (cls == request_class) return p;
+  }
+  return Priority::kHigh;
+}
+
 int RequestMix::sample(Rng& rng) const {
   if (weights_.size() == 1) return weights_.front().first;
   double u = rng.uniform() * total_;
@@ -81,8 +99,11 @@ void OpenLoopGenerator::schedule_next() {
     const int cls = mix_.sample(rng_);
     const SimTime injected_at = sim_.now();
     ++injected_;
-    target_.inject(cls, [this, injected_at, cls](SimTime rt) {
-      if (observer_) observer_(injected_at, cls, rt);
+    RequestMeta meta;
+    meta.request_class = cls;
+    meta.priority = mix_.priority_of(cls);
+    target_.inject(meta, [this, injected_at, cls](SimTime rt, bool ok) {
+      if (observer_) observer_(injected_at, cls, rt, ok);
     });
     schedule_next();
   });
@@ -151,8 +172,11 @@ void ClosedLoopGenerator::user_loop() {
   const int cls = mix_.sample(rng_);
   const SimTime injected_at = sim_.now();
   ++injected_;
-  target_.inject(cls, [this, injected_at, cls](SimTime rt) {
-    if (observer_) observer_(injected_at, cls, rt);
+  RequestMeta meta;
+  meta.request_class = cls;
+  meta.priority = mix_.priority_of(cls);
+  target_.inject(meta, [this, injected_at, cls](SimTime rt, bool ok) {
+    if (observer_) observer_(injected_at, cls, rt, ok);
     const SimTime think = static_cast<SimTime>(
         rng_.exponential(static_cast<double>(think_mean_)));
     sim_.schedule_after(std::max<SimTime>(1, think), [this] { user_loop(); });

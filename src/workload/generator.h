@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "admission/request.h"
 #include "common/rng.h"
 #include "common/time.h"
 #include "sim/simulator.h"
@@ -32,14 +33,22 @@ class RequestMix {
   void set_weights(std::vector<std::pair<int, double>> weights);
   int sample(Rng& rng) const;
 
+  /// Tag a request class with an admission priority (default: every class is
+  /// kHigh). Returns *this for chaining.
+  RequestMix& with_priority(int request_class, Priority priority);
+  Priority priority_of(int request_class) const;
+
  private:
   std::vector<std::pair<int, double>> weights_;
+  std::vector<std::pair<int, Priority>> priorities_;
   double total_ = 0.0;
 };
 
-/// Callback observing each completed request: (injection time, class, rt).
-using CompletionObserver =
-    std::function<void(SimTime injected_at, int request_class, SimTime rt)>;
+/// Callback observing each completed request: (injection time, class, rt,
+/// served). `ok == false` means admission control shed the request.
+using CompletionObserver = std::function<void(SimTime injected_at,
+                                              int request_class, SimTime rt,
+                                              bool ok)>;
 
 class OpenLoopGenerator {
  public:

@@ -2,7 +2,9 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 
+#include "admission/request.h"
 #include "common/time.h"
 
 namespace sora {
@@ -10,12 +12,24 @@ namespace sora {
 /// Anything that can accept end-user requests. Implemented by Application.
 class LoadTarget {
  public:
+  /// Completion callback: end-to-end response time plus whether the request
+  /// was actually served (`ok == false` means it was shed by admission
+  /// control — the "response" is a fast rejection).
+  using Completion = std::function<void(SimTime response_time, bool ok)>;
+
   virtual ~LoadTarget() = default;
 
-  /// Submit one request of `request_class`; `on_complete` fires with the
-  /// end-to-end response time.
-  virtual void inject(int request_class,
-                      std::function<void(SimTime response_time)> on_complete) = 0;
+  /// Submit one request described by `meta`; `on_complete` fires when the
+  /// response (or rejection) leaves the system.
+  virtual void inject(const RequestMeta& meta, Completion on_complete) = 0;
+
+  /// Convenience: class-only injection (high priority, no deadline), with
+  /// the legacy served-response callback.
+  void inject(int request_class, std::function<void(SimTime)> on_complete) {
+    RequestMeta meta;
+    meta.request_class = request_class;
+    inject(meta, [cb = std::move(on_complete)](SimTime rt, bool) { cb(rt); });
+  }
 };
 
 }  // namespace sora

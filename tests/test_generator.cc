@@ -14,14 +14,15 @@ class InstantTarget : public LoadTarget {
   explicit InstantTarget(Simulator& sim, SimTime response_time = 0)
       : sim_(sim), rt_(response_time) {}
 
-  void inject(int request_class,
-              std::function<void(SimTime)> on_complete) override {
+  void inject(const RequestMeta& meta, Completion on_complete) override {
     ++count_;
-    ++per_class_[request_class];
+    ++per_class_[meta.request_class];
+    ++per_priority_[static_cast<int>(meta.priority)];
     if (rt_ == 0) {
-      on_complete(0);
+      on_complete(0, true);
     } else {
-      sim_.schedule_after(rt_, [rt = rt_, cb = std::move(on_complete)] { cb(rt); });
+      sim_.schedule_after(
+          rt_, [rt = rt_, cb = std::move(on_complete)] { cb(rt, true); });
     }
   }
 
@@ -30,12 +31,16 @@ class InstantTarget : public LoadTarget {
     auto it = per_class_.find(cls);
     return it == per_class_.end() ? 0 : it->second;
   }
+  std::uint64_t per_priority(Priority p) const {
+    return per_priority_[static_cast<int>(p)];
+  }
 
  private:
   Simulator& sim_;
   SimTime rt_;
   std::uint64_t count_ = 0;
   std::map<int, std::uint64_t> per_class_;
+  std::uint64_t per_priority_[kNumPriorities] = {};
 };
 
 TEST(RequestMix, SingleClass) {
@@ -122,8 +127,9 @@ TEST(OpenLoop, ObserverSeesCompletions) {
   WorkloadTrace trace(TraceShape::kSlowlyVarying, sec(5), 100.0, 100.0);
   OpenLoopGenerator gen(sim, target, trace, 5);
   std::uint64_t observed = 0;
-  gen.set_observer([&](SimTime, int, SimTime rt) {
+  gen.set_observer([&](SimTime, int, SimTime rt, bool ok) {
     EXPECT_EQ(rt, msec(5));
+    EXPECT_TRUE(ok);
     ++observed;
   });
   gen.start();

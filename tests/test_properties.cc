@@ -252,9 +252,9 @@ TEST_P(OpenLoopShapes, ArrivalsFollowIntensity) {
     std::vector<SimTime> arrivals;
     Simulator& sim;
     explicit Sink(Simulator& s) : sim(s) {}
-    void inject(int, std::function<void(SimTime)> cb) override {
+    void inject(const RequestMeta&, Completion cb) override {
       arrivals.push_back(sim.now());
-      cb(0);
+      cb(0, true);
     }
   } sink{sim};
   const SimTime duration = sec(60);

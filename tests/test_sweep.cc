@@ -34,7 +34,7 @@ ExperimentSummary run_point(std::size_t index) {
 
 bool same_sim_outputs(const ExperimentSummary& a, const ExperimentSummary& b) {
   return a.injected == b.injected && a.completed == b.completed &&
-         a.mean_ms == b.mean_ms && a.p50_ms == b.p50_ms &&
+         a.shed == b.shed && a.mean_ms == b.mean_ms && a.p50_ms == b.p50_ms &&
          a.p95_ms == b.p95_ms && a.p99_ms == b.p99_ms &&
          a.goodput_rps == b.goodput_rps &&
          a.throughput_rps == b.throughput_rps &&
