@@ -348,6 +348,18 @@ inline void print_header(const std::string& title, const std::string& paper) {
             << "================================================================\n";
 }
 
+/// When SORA_CTL_PORT is set, every Experiment in this process tries to
+/// start the introspection server on that port at start_all() (the first
+/// one wins; parallel sweep workers log a warning and run serverless).
+/// Print where to point a browser / sora_top.
+inline void print_ctl_hint() {
+  if (const char* port = std::getenv("SORA_CTL_PORT")) {
+    std::cout << "[ctl] live introspection on http://127.0.0.1:" << port
+              << "  (/statusz /metrics /logz /decisions) — dashboard: "
+              << "sora_top --port " << port << "\n";
+  }
+}
+
 /// Emit a result table: aligned text to stdout and, when SORA_BENCH_CSV_DIR
 /// is set, a machine-readable copy at <dir>/<name>.csv (directory created if
 /// needed). Every bench funnels its tables through here so the console and

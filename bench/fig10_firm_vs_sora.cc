@@ -35,6 +35,7 @@ int main_impl(int argc, char** argv) {
   cfg.telemetry_dir = argc > 1 ? argv[1] : "telemetry/fig10";
   if (cfg.telemetry_dir == "-") cfg.telemetry_dir.clear();
   if (argc > 2) cfg.duration = minutes(std::max(1, std::atoi(argv[2])));
+  print_ctl_hint();
 
   cfg.adaptation = SoftAdaptation::kNone;
   cfg.telemetry_tag = "firm";

@@ -140,6 +140,7 @@ int run(int argc, char** argv) {
   print_header("Overload protection: admission policies at 1-3x knee load",
                "Open-loop browse traffic, Fig-10 Sock Shop deployment; "
                "admission on Cart");
+  print_ctl_hint();
 
   const double knee_rate = calibrate_knee_rate();
   std::cout << "calibrated knee rate (saturated throughput, initial deploy): "

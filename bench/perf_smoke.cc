@@ -7,8 +7,18 @@
 // JSON array of runs keyed by git SHA and date — so the repo accumulates a
 // perf trajectory across PRs instead of only remembering the last run.
 //
-// Usage: perf_smoke [output.json]   (default: BENCH_sim.json in the CWD)
+// A third probe repeats the engine run with the ctl introspection server
+// attached and a 10 Hz /statusz poller hammering it, substantiating the
+// claim that live observation does not perturb the hot path (<1% budget).
+//
+// Usage: perf_smoke [--gate] [output.json]   (default: BENCH_sim.json)
+//
+// With --gate, the freshly measured engine events/sec is compared against
+// the best engine_events_per_sec already committed in the trajectory file;
+// a regression beyond SORA_PERF_GATE_PCT percent (default 10) exits 2 — the
+// CI perf gate.
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -21,6 +31,9 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "ctl/http.h"
+#include "ctl/json_value.h"
+#include "ctl/plane.h"
 #include "harness/sweep.h"
 #include "obs/json.h"
 
@@ -70,6 +83,67 @@ EngineResult run_engine_probe() {
   r.events_per_sec = r.wall_sec > 0 ? r.events / r.wall_sec : 0.0;
   r.wall_ms_per_sim_sec =
       r.sim_sec > 0 ? r.wall_sec * 1000.0 / r.sim_sec : 0.0;
+  return r;
+}
+
+struct CtlProbeResult {
+  bool ran = false;
+  double events_per_sec = 0.0;
+  double overhead_pct = 0.0;  ///< slowdown vs the serverless engine probe
+  std::uint64_t requests_served = 0;
+};
+
+/// The engine probe again, with the introspection server live and a 10 Hz
+/// /statusz poller attached for the whole run. The interesting number is
+/// the events/sec delta against the serverless probe.
+CtlProbeResult run_ctl_overhead_probe(double baseline_events_per_sec) {
+  sock_shop::Params params;
+  params.cart_cores = 4.0;
+  params.cart_threads = 12;
+  ExperimentConfig ecfg;
+  int probe_minutes = 1;
+  if (const char* env = std::getenv("SORA_PERF_SMOKE_MINUTES")) {
+    probe_minutes = std::max(1, std::atoi(env));
+  }
+  ecfg.duration = minutes(probe_minutes);
+  ecfg.sla = msec(250);
+  ecfg.seed = 42;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+  exp.closed_loop(600, sec(1), RequestMix(sock_shop::kBrowse));
+  ctl::CtlOptions copts;
+  copts.port = 0;  // ephemeral: the probe must not collide with a real server
+  exp.enable_ctl(copts);
+  exp.start_all();
+
+  CtlProbeResult r;
+  ctl::CtlServer* server =
+      exp.ctl_plane() != nullptr ? exp.ctl_plane()->server() : nullptr;
+  if (server == nullptr || !server->running()) return r;
+  const int port = server->port();
+
+  std::atomic<bool> done{false};
+  std::thread poller([&done, port] {
+    while (!done.load(std::memory_order_acquire)) {
+      std::string body;
+      ctl::http_get("127.0.0.1", port, "/statusz", &body);
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  const auto start = WallClock::now();
+  exp.run();
+  const double wall = elapsed_sec(start);
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  r.ran = true;
+  r.events_per_sec =
+      wall > 0 ? static_cast<double>(exp.sim().events_executed()) / wall : 0.0;
+  r.requests_served = server->requests_served();
+  if (baseline_events_per_sec > 0 && r.events_per_sec > 0) {
+    r.overhead_pct =
+        (1.0 - r.events_per_sec / baseline_events_per_sec) * 100.0;
+  }
   return r;
 }
 
@@ -163,6 +237,26 @@ void append_trajectory(const std::string& path, const std::string& entry) {
   os << entry << "\n]\n";
 }
 
+/// Best engine_events_per_sec across the committed trajectory entries
+/// (0 when the file is missing, unparsable, or empty).
+double best_trajectory_events_per_sec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0.0;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ctl::JsonValue doc;
+  if (!ctl::parse_json(buf.str(), &doc)) return 0.0;
+  double best = 0.0;
+  if (doc.kind() == ctl::JsonValue::Kind::kArray) {
+    for (const auto& entry : doc.as_array()) {
+      best = std::max(best, entry["engine_events_per_sec"].as_number());
+    }
+  } else {
+    best = doc["engine_events_per_sec"].as_number();
+  }
+  return best;
+}
+
 SweepResult run_sweep_probe() {
   SweepResult r;
   r.runs = 8;
@@ -193,6 +287,20 @@ int main_impl(int argc, char** argv) {
   print_header("perf_smoke: engine throughput + sweep speedup",
                "Emits BENCH_sim.json (the repo's perf trajectory)");
 
+  bool gate = false;
+  std::string out_path = "BENCH_sim.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--gate") {
+      gate = true;
+    } else {
+      out_path = arg;
+    }
+  }
+  // Read the best committed entry BEFORE appending this run's.
+  const double best_prior =
+      gate ? best_trajectory_events_per_sec(out_path) : 0.0;
+
   const EngineResult engine = run_engine_probe();
   std::cout << "engine probe (1-min cart sim):\n"
             << "  events executed : " << engine.events << "\n"
@@ -203,6 +311,18 @@ int main_impl(int argc, char** argv) {
             << "  wall ms / sim s : " << fmt(engine.wall_ms_per_sim_sec, 2)
             << "\n";
 
+  const CtlProbeResult ctl = run_ctl_overhead_probe(engine.events_per_sec);
+  std::cout << "\nctl overhead probe (same sim, live server + 10 Hz poller):\n";
+  if (ctl.ran) {
+    std::cout << "  events/sec      : " << fmt(ctl.events_per_sec / 1e6, 3)
+              << " M\n"
+              << "  requests served : " << ctl.requests_served << "\n"
+              << "  overhead        : " << fmt(ctl.overhead_pct, 2)
+              << " % (budget: < 1%)\n";
+  } else {
+    std::cout << "  skipped (server failed to bind)\n";
+  }
+
   const SweepResult sweep = run_sweep_probe();
   std::cout << "\nsweep probe (" << sweep.runs << " independent 20-s runs, "
             << sweep.workers << " worker(s)):\n"
@@ -212,7 +332,6 @@ int main_impl(int argc, char** argv) {
             << "  outputs match   : " << (sweep.identical ? "yes" : "NO")
             << "\n";
 
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sim.json";
   obs::JsonObject o;
   o.field("bench", "perf_smoke");
   o.field("git_sha", git_sha());
@@ -228,10 +347,38 @@ int main_impl(int argc, char** argv) {
   o.field("sweep_parallel_sec", sweep.parallel_sec);
   o.field("sweep_speedup", sweep.speedup);
   o.field("sweep_outputs_match", sweep.identical);
+  if (ctl.ran) {
+    o.field("ctl_events_per_sec", ctl.events_per_sec);
+    o.field("ctl_overhead_pct", ctl.overhead_pct);
+    o.field("ctl_requests_served", ctl.requests_served);
+  }
   o.field("host_hardware_concurrency",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   append_trajectory(out_path, o.str());
   std::cout << "\nappended to " << out_path << "\n";
+
+  if (gate) {
+    double pct = 10.0;
+    if (const char* env = std::getenv("SORA_PERF_GATE_PCT")) {
+      const double v = std::atof(env);
+      if (v > 0) pct = v;
+    }
+    if (best_prior <= 0) {
+      std::cout << "perf gate: no prior trajectory entry; nothing to gate\n";
+    } else {
+      const double floor = best_prior * (1.0 - pct / 100.0);
+      std::cout << "perf gate: current " << fmt(engine.events_per_sec / 1e6, 3)
+                << " M ev/s vs best committed "
+                << fmt(best_prior / 1e6, 3) << " M (floor "
+                << fmt(floor / 1e6, 3) << " M, -" << fmt(pct, 0) << "%)\n";
+      if (engine.events_per_sec < floor) {
+        std::cout << "perf gate: FAIL — events/sec regressed beyond "
+                  << fmt(pct, 0) << "%\n";
+        return 2;
+      }
+      std::cout << "perf gate: OK\n";
+    }
+  }
   return sweep.identical ? 0 : 1;
 }
 

@@ -193,6 +193,28 @@ void AdmissionController::set_knee(double aggregate_knee, SimTime now) {
   if (limit_ != old_limit) note_limit_change(old_limit, now, "knee update");
 }
 
+void AdmissionController::set_knee_headroom(double headroom, SimTime now) {
+  if (headroom <= 0.0) return;
+  options_.knee_headroom = headroom;
+  if (options_.policy != AdmissionPolicy::kKneeCoupled || knee_ <= 0.0) return;
+  const double old_limit = limit_;
+  limit_ = std::clamp(knee_ * options_.knee_headroom, options_.min_limit,
+                      options_.max_limit);
+  if (limit_ != old_limit) note_limit_change(old_limit, now, "ctl headroom");
+}
+
+void AdmissionController::set_limit_bounds(double min_limit, double max_limit,
+                                           SimTime now) {
+  if (min_limit > 0.0) options_.min_limit = min_limit;
+  if (max_limit > 0.0) options_.max_limit = max_limit;
+  if (options_.max_limit < options_.min_limit) {
+    options_.max_limit = options_.min_limit;
+  }
+  const double old_limit = limit_;
+  limit_ = std::clamp(limit_, options_.min_limit, options_.max_limit);
+  if (limit_ != old_limit) note_limit_change(old_limit, now, "ctl bounds");
+}
+
 void AdmissionController::note_limit_change(double old_limit, SimTime now,
                                             const char* why) {
   if (limit_gauge_ != nullptr) limit_gauge_->set(limit_);

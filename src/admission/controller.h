@@ -117,6 +117,16 @@ class AdmissionController {
   /// kKneeCoupled the admitted-concurrency cap follows knee * headroom.
   void set_knee(double aggregate_knee, SimTime now);
 
+  // -- runtime control (ctl plane) --------------------------------------------
+
+  /// Retarget the knee-coupled headroom at runtime. Under kKneeCoupled the
+  /// limit is recomputed immediately from the last published knee; other
+  /// policies pick it up at the next knee publication.
+  void set_knee_headroom(double headroom, SimTime now);
+  /// Re-clamp the adaptive limit range (and the current limit) to
+  /// [min_limit, max_limit]; values <= 0 keep the existing bound.
+  void set_limit_bounds(double min_limit, double max_limit, SimTime now);
+
   // -- introspection ----------------------------------------------------------
 
   const std::string& service() const { return service_; }

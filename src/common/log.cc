@@ -1,8 +1,10 @@
 #include "common/log.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
@@ -44,11 +46,101 @@ std::string_view level_name(LogLevel level) {
   }
   return "?";
 }
+
+// -- log ring ----------------------------------------------------------------
+
+constexpr std::size_t kRingSlots = 512;  // power of two
+constexpr std::size_t kRingLineCap = 240;
+
+struct RingSlot {
+  // Odd while a writer is copying, 2*(claim index)+2 once complete. Readers
+  // re-check after copying and discard torn slots.
+  std::atomic<std::uint64_t> seq{0};
+  std::uint16_t len = 0;
+  char text[kRingLineCap];
+};
+
+RingSlot g_ring[kRingSlots];
+std::atomic<std::uint64_t> g_ring_head{0};  // next claim index
+
+void ring_store(std::string_view line) {
+  const std::uint64_t idx = g_ring_head.fetch_add(1, std::memory_order_relaxed);
+  RingSlot& slot = g_ring[idx & (kRingSlots - 1)];
+  const std::uint16_t len =
+      static_cast<std::uint16_t>(std::min(line.size(), kRingLineCap));
+  slot.seq.store(2 * idx + 1, std::memory_order_release);
+  std::memcpy(slot.text, line.data(), len);
+  slot.len = len;
+  slot.seq.store(2 * idx + 2, std::memory_order_release);
+}
 }  // namespace
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) {
   g_level.store(level, std::memory_order_relaxed);
+}
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kOff:
+      return "off";
+  }
+  return "?";
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else if (name == "off") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+std::size_t log_ring_capacity() { return kRingSlots; }
+
+std::vector<std::string> log_ring_recent(std::size_t max_lines) {
+  const std::uint64_t head = g_ring_head.load(std::memory_order_acquire);
+  const std::uint64_t available =
+      std::min<std::uint64_t>(head, kRingSlots);
+  const std::uint64_t want = std::min<std::uint64_t>(max_lines, available);
+  std::vector<std::string> out;
+  out.reserve(want);
+  for (std::uint64_t i = head - want; i < head; ++i) {
+    RingSlot& slot = g_ring[i & (kRingSlots - 1)];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 != 2 * i + 2) continue;  // overwritten (lapped) or mid-write
+    char buf[kRingLineCap];
+    const std::uint16_t len = slot.len;
+    if (len > kRingLineCap) continue;
+    std::memcpy(buf, slot.text, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    out.emplace_back(buf, len);
+  }
+  return out;
+}
+
+std::uint64_t log_ring_total() {
+  return g_ring_head.load(std::memory_order_acquire);
+}
+
+void log_ring_clear() {
+  // Tests only: not safe against concurrent writers.
+  g_ring_head.store(0, std::memory_order_release);
+  for (RingSlot& slot : g_ring) {
+    slot.seq.store(0, std::memory_order_release);
+    slot.len = 0;
+  }
 }
 
 void set_log_clock(const void* ctx, LogClockFn fn) {
@@ -86,6 +178,9 @@ void log_line(LogLevel level, std::string_view msg) {
   }
   line += "] ";
   line += msg;
+  // Retain the line (newline-free) in the in-process ring for /logz before
+  // it goes to the sink.
+  ring_store(line);
   line += '\n';
   // std::cerr (not raw stderr) so tests and embedders can redirect rdbuf.
   std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));

@@ -11,7 +11,9 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/time.h"
 
@@ -35,6 +37,35 @@ void set_log_clock(const void* ctx, LogClockFn fn);
 void clear_log_clock(const void* ctx);
 /// Current log timestamp on this thread; false when no clock is installed.
 bool log_clock_now(SimTime* out);
+
+/// Human-readable name of a level ("debug"..."off"); parse_log_level is the
+/// inverse (false on unknown names).
+std::string_view log_level_name(LogLevel level);
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+// -- in-process log ring ------------------------------------------------------
+//
+// Every emitted line (post level-filter, fully formatted) is also retained
+// in a fixed-size in-process ring so the ctl server's /logz endpoint works
+// even when nothing captures stderr. The ring is lock-free: writers claim a
+// slot with one fetch_add and copy into a fixed char buffer guarded by a
+// per-slot sequence word; readers validate the sequence around their copy
+// and skip slots that were being rewritten mid-read. Lines longer than the
+// slot are truncated (a '…'-free hard cut — /logz is a tail, not an
+// archive).
+
+/// Slots in the ring (compile-time constant, power of two).
+std::size_t log_ring_capacity();
+
+/// The most recent `max_lines` retained lines, oldest first. Thread-safe
+/// against concurrent writers (torn slots are skipped).
+std::vector<std::string> log_ring_recent(std::size_t max_lines);
+
+/// Lines retained since process start (monotonic; wraps never reset it).
+std::uint64_t log_ring_total();
+
+/// Tests only: forget everything retained so far.
+void log_ring_clear();
 
 namespace detail {
 void log_line(LogLevel level, std::string_view msg);

@@ -57,6 +57,27 @@ const char* SoraFramework::controller_name() const {
                                                                  : "conscale";
 }
 
+std::vector<SoraFramework::KnobKnee> SoraFramework::current_knees() const {
+  std::vector<KnobKnee> out;
+  out.reserve(last_good_.size());
+  for (const auto& [label, lg] : last_good_) {
+    KnobKnee k;
+    k.label = label;
+    for (const ResourceKnob& knob : knobs_) {
+      if (knob.label() == label && knob.service() != nullptr) {
+        k.service = knob.service()->name();
+        break;
+      }
+    }
+    k.knee_concurrency = lg.estimate.knee_concurrency;
+    k.recommended = lg.estimate.recommended;
+    k.at = lg.at;
+    k.round = lg.round;
+    out.push_back(std::move(k));
+  }
+  return out;
+}
+
 void SoraFramework::control_round() {
   SORA_PROFILE_STAGE("sora.control_round");
   ++control_rounds_;

@@ -113,6 +113,19 @@ class SoraFramework {
   const SoraFrameworkOptions& options() const { return options_; }
   std::uint64_t control_rounds() const { return control_rounds_; }
 
+  /// One last-good knee estimate per knob that has ever produced a valid
+  /// fit. For the ctl plane's /statusz: the per-replica knee the adapter is
+  /// currently steering toward, with the round/time it was learned.
+  struct KnobKnee {
+    std::string label;            ///< knob label ("cart/threads")
+    std::string service;          ///< owning service name ("" if unresolved)
+    double knee_concurrency = 0;  ///< per-replica knee location
+    int recommended = 0;          ///< rounded setting the adapter targets
+    SimTime at = 0;               ///< when the estimate was learned
+    std::uint64_t round = 0;      ///< control round that learned it
+  };
+  std::vector<KnobKnee> current_knees() const;
+
   /// Run one control round immediately (exposed for tests).
   void control_round();
 

@@ -1,0 +1,24 @@
+#include "ctl/command.h"
+
+#include <cctype>
+
+namespace sora::ctl {
+
+std::vector<std::string> tokenize_command(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace sora::ctl

@@ -1,0 +1,74 @@
+// Runtime control commands and the queue that carries them to a safepoint.
+//
+// Commands are line-oriented text (the same grammar over HTTP /ctl and in
+// replay scripts):
+//
+//   loglevel <debug|info|warn|error|off>     set the global SORA_LOG level
+//   headroom <service> <factor>              knee-coupled admission headroom
+//   cap <service> <max_limit>                admission policy max limit
+//   fault crash <service> [downtime_sec]     crash one replica, restore later
+//   pause                                    freeze sim time (wall keeps going)
+//   resume                                   leave the pause loop
+//
+// The server thread only ever *enqueues*; commands are applied exclusively
+// by the sim thread at event-loop safepoints (the ctl plane's periodic
+// tick), so a command can never observe — or mutate — mid-event state. Every
+// applied command lands in the decision log stamped with the safepoint's sim
+// time, which is what makes a recorded run replayable byte-for-byte: the
+// replay script re-applies the same text at the same safepoint.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sora::ctl {
+
+/// A command scheduled for (or recorded at) an absolute sim time.
+struct TimedCommand {
+  SimTime at = 0;
+  std::string text;
+};
+
+/// MPSC queue: any thread may push; the sim thread drains at safepoints.
+/// A plain mutex suffices — the hot path never touches the queue (draining
+/// happens once per safepoint period and the common case is empty, one
+/// try_lock away).
+class CommandQueue {
+ public:
+  void push(std::string command) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(command));
+  }
+
+  /// All pending commands in arrival order; empties the queue. Returns an
+  /// empty vector without blocking when the queue is contended (the next
+  /// safepoint will pick the commands up — arrival wall time is not
+  /// sim-meaningful, so the delay is invisible).
+  std::vector<std::string> drain() {
+    std::vector<std::string> out;
+    const std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+    if (!lock.owns_lock()) return out;
+    out.assign(std::make_move_iterator(queue_.begin()),
+               std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    return out;
+  }
+
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> queue_;
+};
+
+/// Split a command line into whitespace-separated tokens.
+std::vector<std::string> tokenize_command(const std::string& line);
+
+}  // namespace sora::ctl

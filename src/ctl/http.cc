@@ -1,0 +1,176 @@
+#include "ctl/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace sora::ctl {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Split "k1=v1&k2=v2" into the decoded query map.
+void parse_query(std::string_view qs, std::map<std::string, std::string>* out) {
+  std::size_t pos = 0;
+  while (pos < qs.size()) {
+    std::size_t amp = qs.find('&', pos);
+    if (amp == std::string_view::npos) amp = qs.size();
+    const std::string_view pair = qs.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      if (!pair.empty()) (*out)[url_decode(pair)] = "";
+    } else {
+      (*out)[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Unknown";
+  }
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+bool parse_http_request(std::string_view raw, HttpRequest* out) {
+  const std::size_t line_end = raw.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  const std::string_view line = raw.substr(0, line_end);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return false;
+  out->method = std::string(line.substr(0, sp1));
+  std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') return false;
+
+  const std::size_t qmark = target.find('?');
+  if (qmark == std::string_view::npos) {
+    out->path = url_decode(target);
+  } else {
+    out->path = url_decode(target.substr(0, qmark));
+    parse_query(target.substr(qmark + 1), &out->query);
+  }
+
+  const std::size_t headers_end = raw.find("\r\n\r\n");
+  if (headers_end == std::string_view::npos) {
+    out->body.clear();
+    return true;  // header-only request (body may simply not have arrived)
+  }
+  out->body = std::string(raw.substr(headers_end + 4));
+  return true;
+}
+
+std::string make_http_response(int status, std::string_view content_type,
+                               std::string_view body) {
+  std::ostringstream os;
+  os << "HTTP/1.0 " << status << ' ' << status_text(status) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n\r\n"
+     << body;
+  return os.str();
+}
+
+bool http_get(const std::string& host, int port, const std::string& path,
+              std::string* body, int* status) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // "HTTP/1.0 200 OK" — pull the status, hand back everything after the
+  // header block.
+  int code = 0;
+  if (std::sscanf(response.c_str(), "HTTP/%*d.%*d %d", &code) != 1) {
+    return false;
+  }
+  if (status != nullptr) *status = code;
+  const std::size_t headers_end = response.find("\r\n\r\n");
+  *body = headers_end == std::string::npos ? std::string()
+                                           : response.substr(headers_end + 4);
+  return code >= 200 && code < 300;
+}
+
+}  // namespace sora::ctl

@@ -1,0 +1,40 @@
+// Line-oriented HTTP/1.0 — just enough for the ctl endpoints and sora_top.
+//
+// No keep-alive, no chunking, no TLS: one request per connection, response
+// ends at close. Parsing is deliberately forgiving (curl, browsers and the
+// bundled client all speak more than we need) but bounded: request lines and
+// header blocks are size-capped so a misbehaving peer cannot balloon memory.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace sora::ctl {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< decoded path without the query string
+  std::map<std::string, std::string> query;  ///< decoded key -> value
+  std::string body;
+};
+
+/// Parse "GET /decisions?tail=5 HTTP/1.0" + headers + optional body out of a
+/// raw request buffer. Returns false on malformed input.
+bool parse_http_request(std::string_view raw, HttpRequest* out);
+
+/// Percent-decode a URL component (also maps '+' to space).
+std::string url_decode(std::string_view s);
+
+/// Serialize a full response with Content-Length and Connection: close.
+std::string make_http_response(int status, std::string_view content_type,
+                               std::string_view body);
+
+/// Blocking one-shot client: GET `path` from host:port, return the response
+/// body. Returns false on connect/read failure or non-2xx status. Used by
+/// sora_top and the tests (no external HTTP dependency).
+bool http_get(const std::string& host, int port, const std::string& path,
+              std::string* body, int* status = nullptr);
+
+}  // namespace sora::ctl

@@ -1,0 +1,250 @@
+#include "ctl/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace sora::ctl {
+
+namespace {
+const JsonValue& null_value() {
+  static const JsonValue kNull;
+  return kNull;
+}
+}  // namespace
+
+const JsonValue& JsonValue::operator[](const std::string& key) const {
+  if (kind_ != Kind::kObject) return null_value();
+  const auto it = object_.find(key);
+  return it == object_.end() ? null_value() : it->second;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue* out) {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out->kind_ = JsonValue::Kind::kString;
+        return parse_string(&out->string_);
+      case 't':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = true;
+        return literal("true");
+      case 'f':
+        out->kind_ = JsonValue::Kind::kBool;
+        out->bool_ = false;
+        return literal("false");
+      case 'n':
+        out->kind_ = JsonValue::Kind::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->object_.emplace(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue* out) {
+    out->kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(&value)) return false;
+      out->array_.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        const char esc = text_[pos_ + 1];
+        pos_ += 2;
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are out of
+            // scope for the telemetry writer, which only escapes < 0x20).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+        continue;
+      }
+      *out += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool parse_number(JsonValue* out) {
+    // Copy the token first: the view need not be null-terminated, so strtod
+    // cannot be pointed at it directly.
+    std::size_t end_pos = pos_;
+    while (end_pos < text_.size()) {
+      const char c = text_[end_pos];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E') {
+        ++end_pos;
+      } else {
+        break;
+      }
+    }
+    const std::string token(text_.substr(pos_, end_pos - pos_));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || token.empty()) return false;
+    out->kind_ = JsonValue::Kind::kNumber;
+    out->number_ = v;
+    pos_ = end_pos;
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+bool parse_json(std::string_view text, JsonValue* out) {
+  *out = JsonValue();
+  JsonParser parser(text);
+  if (parser.parse(out)) return true;
+  *out = JsonValue();
+  return false;
+}
+
+}  // namespace sora::ctl

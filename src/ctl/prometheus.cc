@@ -1,0 +1,179 @@
+#include "ctl/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace sora::ctl {
+
+namespace {
+
+bool name_char_ok(char c, bool first) {
+  const bool alpha =
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+bool label_char_ok(char c, bool first) {
+  const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  if (first) return alpha;
+  return alpha || (c >= '0' && c <= '9');
+}
+
+std::string sanitize(std::string_view name, bool (*ok)(char, bool)) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty()) return "_";
+  if (!ok(name.front(), true) && ok(name.front(), false)) out += '_';
+  for (char c : name) out += ok(c, false) ? c : '_';
+  return out;
+}
+
+/// Exposition float: decimal or scientific, plus the special NaN/Inf forms.
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Render `name{labels...}` with optional extra (label, value) appended.
+std::string sample_name(const std::string& family,
+                        const obs::MetricLabels& labels,
+                        const char* extra_label = nullptr,
+                        const char* extra_value = nullptr) {
+  std::string out = family;
+  if (labels.empty() && extra_label == nullptr) return out;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_label_name(k);
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (extra_label != nullptr) {
+    if (!first) out += ',';
+    out += extra_label;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+struct Family {
+  obs::MetricKind kind = obs::MetricKind::kGauge;
+  bool mixed_kinds = false;
+  std::vector<const obs::SeriesSnapshot*> series;
+};
+
+}  // namespace
+
+std::string sanitize_metric_name(std::string_view name) {
+  return sanitize(name, name_char_ok);
+}
+
+std::string sanitize_label_name(std::string_view name) {
+  std::string out = sanitize(name, label_char_ok);
+  // "__"-prefixed label names are reserved for Prometheus internals.
+  if (out.size() >= 2 && out[0] == '_' && out[1] == '_') out = "x" + out;
+  return out;
+}
+
+std::string escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void write_prometheus(const obs::MetricsSnapshot& snap, std::ostream& os) {
+  // Group by sanitized family name so collisions share one TYPE line.
+  std::map<std::string, Family> families;
+  for (const obs::SeriesSnapshot& s : snap.series) {
+    std::string base = sanitize_metric_name(s.name);
+    if (s.kind == obs::MetricKind::kCounter) {
+      // Counter convention: families end in _total (append once).
+      if (base.size() < 6 || base.compare(base.size() - 6, 6, "_total") != 0) {
+        base += "_total";
+      }
+    }
+    Family& fam = families[base];
+    if (fam.series.empty()) {
+      fam.kind = s.kind;
+    } else if (fam.kind != s.kind) {
+      fam.mixed_kinds = true;
+    }
+    fam.series.push_back(&s);
+  }
+
+  for (const auto& [name, fam] : families) {
+    const char* type = "untyped";
+    if (!fam.mixed_kinds) {
+      switch (fam.kind) {
+        case obs::MetricKind::kCounter:
+          type = "counter";
+          break;
+        case obs::MetricKind::kGauge:
+          type = "gauge";
+          break;
+        case obs::MetricKind::kHistogram:
+          type = "summary";
+          break;
+      }
+    }
+    os << "# TYPE " << name << ' ' << type << '\n';
+    for (const obs::SeriesSnapshot* s : fam.series) {
+      if (!fam.mixed_kinds && s->kind == obs::MetricKind::kHistogram) {
+        os << sample_name(name, s->labels, "quantile", "0.5") << ' '
+           << format_value(s->p50) << '\n';
+        os << sample_name(name, s->labels, "quantile", "0.99") << ' '
+           << format_value(s->p99) << '\n';
+        os << sample_name(name, s->labels, "quantile", "1") << ' '
+           << format_value(s->max) << '\n';
+        os << sample_name(name + "_sum", s->labels) << ' '
+           << format_value(s->mean * static_cast<double>(s->count)) << '\n';
+        os << sample_name(name + "_count", s->labels) << ' '
+           << format_value(static_cast<double>(s->count)) << '\n';
+      } else {
+        // Counters/gauges expose their scalar; a histogram trapped in a
+        // mixed-kind family degrades to its observation count.
+        os << sample_name(name, s->labels) << ' ' << format_value(s->value)
+           << '\n';
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const obs::MetricsSnapshot& snap) {
+  std::ostringstream os;
+  write_prometheus(snap, os);
+  return os.str();
+}
+
+}  // namespace sora::ctl

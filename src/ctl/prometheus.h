@@ -1,0 +1,42 @@
+// Prometheus text exposition (format version 0.0.4) of a MetricsSnapshot.
+//
+// The registry's naming convention (dotted families like "pool.queue_depth",
+// service names with dashes) is not valid Prometheus, so every name is
+// sanitized on the way out: metric and label names map any character outside
+// [a-zA-Z0-9_:] (names) / [a-zA-Z0-9_] (labels) to '_', and a leading digit
+// gains a '_' prefix. Label values keep their exact bytes via the official
+// escaping (backslash, double-quote, newline). Families render as:
+//
+//   Counter   -> `# TYPE f_total counter`   one sample per series
+//   Gauge     -> `# TYPE f gauge`           one sample per series
+//   Histogram -> `# TYPE f summary`         p50/p90/p99 quantile samples
+//                                           plus f_sum and f_count
+//
+// Distinct registry families that collide after sanitization are merged into
+// one exposition family; if their kinds disagree the family degrades to
+// `untyped` (never two TYPE lines for one name — the format forbids it).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace sora::ctl {
+
+/// Map to a valid exposition metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize_metric_name(std::string_view name);
+
+/// Map to a valid label name: [a-zA-Z_][a-zA-Z0-9_]*. Leading "__" is
+/// reserved by Prometheus, so a sanitized name never starts with it.
+std::string sanitize_label_name(std::string_view name);
+
+/// Escape a label value for `label="<value>"`: \ -> \\, " -> \", LF -> \n.
+std::string escape_label_value(std::string_view value);
+
+/// Render the whole snapshot in exposition text format.
+void write_prometheus(const obs::MetricsSnapshot& snap, std::ostream& os);
+std::string to_prometheus(const obs::MetricsSnapshot& snap);
+
+}  // namespace sora::ctl

@@ -1,0 +1,79 @@
+#include "ctl/snapshot.h"
+
+#include "obs/json.h"
+
+namespace sora::ctl {
+
+std::string StatusSnapshot::to_json() const {
+  obs::JsonObject o;
+  o.field("seq", seq);
+  o.field("sim_time_sec", to_sec(sim_time));
+  o.field("paused", paused);
+  o.field("log_level", log_level);
+  o.field("events_executed", events_executed);
+  o.field("events_pending", events_pending);
+  o.field("events_per_sec", events_per_sec);
+  o.field("injected", injected);
+  o.field("completed", completed);
+  o.field("shed", shed);
+  o.field("e2e_p99_ms", e2e_p99_ms);
+  o.field("commands_applied", commands_applied);
+  o.field("commands_rejected", commands_rejected);
+  o.field("decisions_total", static_cast<std::uint64_t>(decisions_total));
+  o.field("episodes_total", static_cast<std::uint64_t>(episodes_total));
+
+  std::string services_json = "[";
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    const ServiceStatus& s = services[i];
+    if (i > 0) services_json += ',';
+    obs::JsonObject so;
+    so.field("name", s.name);
+    so.field("replicas", s.replicas);
+    so.field("cpu_limit_cores", s.cpu_limit_cores);
+    so.field("threads_capacity", s.threads_capacity);
+    so.field("threads_in_use", s.threads_in_use);
+    so.field("queue_depth", s.queue_depth);
+    so.field("completions", s.completions);
+    so.field("p99_ms", s.p99_ms);
+    so.field("knee", s.knee);
+    if (s.has_admission) {
+      obs::JsonObject ao;
+      ao.field("policy", s.admission_policy);
+      ao.field("limit", s.admission_limit);
+      ao.field("in_flight", s.admission_in_flight);
+      ao.field("admitted", s.admitted);
+      ao.field("shed", s.shed);
+      ao.field("knee", s.admission_knee);
+      so.raw("admission", ao.str());
+    }
+    services_json += so.str();
+  }
+  services_json += ']';
+  o.raw("services", services_json);
+
+  std::string episodes_json = "[";
+  for (std::size_t i = 0; i < active_episodes.size(); ++i) {
+    const EpisodeStatus& e = active_episodes[i];
+    if (i > 0) episodes_json += ',';
+    obs::JsonObject eo;
+    eo.field("entity", e.entity);
+    eo.field("start_sec", to_sec(e.start));
+    eo.field("peak_fast_burn", e.peak_fast_burn);
+    episodes_json += eo.str();
+  }
+  episodes_json += ']';
+  o.raw("active_episodes", episodes_json);
+
+  obs::JsonObject fo;
+  fo.field("armed", faults.armed);
+  fo.field("events_fired", faults.events_fired);
+  fo.field("crashes", faults.crashes);
+  fo.field("restarts", faults.restarts);
+  fo.field("cpu_steps", faults.cpu_steps);
+  fo.field("stalls", faults.stalls);
+  o.raw("faults", fo.str());
+
+  return o.str();
+}
+
+}  // namespace sora::ctl

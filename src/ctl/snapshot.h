@@ -1,0 +1,146 @@
+// Shared state between the simulation thread and the ctl server thread.
+//
+// The sim thread is the single writer: at each safepoint it assembles a
+// StatusSnapshot and publishes it through a SnapshotBoard. The server thread
+// is the single reader. The board is a wait-free single-writer/single-reader
+// triple buffer: three slots, a packed atomic holding the index of the most
+// recently published slot plus a freshness bit. The writer always writes a
+// slot the reader is provably not touching, so non-trivial members
+// (strings, vectors) are safe without torn reads, and neither side ever
+// blocks or spins — publishing costs the snapshot assembly plus one atomic
+// exchange, which is how the <1% hot-path overhead budget is met. Every
+// snapshot carries a monotonically increasing sequence number so readers can
+// tell a fresh publish from a re-read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/metrics.h"
+
+namespace sora::ctl {
+
+/// Per-service live state surfaced by /statusz and sora_top.
+struct ServiceStatus {
+  std::string name;
+  int replicas = 0;
+  double cpu_limit_cores = 0.0;
+  int threads_capacity = 0;  ///< aggregate entry-pool size
+  int threads_in_use = 0;
+  int queue_depth = 0;  ///< entry-pool waiters across active replicas
+  std::uint64_t completions = 0;
+  double p99_ms = 0.0;  ///< RPC latency sketch p99 (NaN before first sample)
+
+  // Admission controller state (has_admission gates the rest).
+  bool has_admission = false;
+  std::string admission_policy;
+  double admission_limit = 0.0;
+  int admission_in_flight = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  double admission_knee = 0.0;
+
+  // Soft-resource knee estimate for this service's entry knob (0 = none).
+  double knee = 0.0;
+};
+
+/// One open SLO burn episode.
+struct EpisodeStatus {
+  std::string entity;
+  SimTime start = 0;
+  double peak_fast_burn = 0.0;
+};
+
+/// Fault-injector outcome counters (zeros when no injector armed).
+struct FaultStatus {
+  bool armed = false;
+  std::uint64_t events_fired = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t cpu_steps = 0;
+  std::uint64_t stalls = 0;
+};
+
+struct StatusSnapshot {
+  std::uint64_t seq = 0;  ///< publish sequence number (board-stamped)
+  SimTime sim_time = 0;
+  bool paused = false;
+  std::string log_level;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_pending = 0;
+  double events_per_sec = 0.0;  ///< wall-clock rate between the last publishes
+
+  std::uint64_t injected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  double e2e_p99_ms = 0.0;
+
+  std::uint64_t commands_applied = 0;
+  std::uint64_t commands_rejected = 0;
+
+  std::vector<ServiceStatus> services;
+  std::vector<EpisodeStatus> active_episodes;
+  std::size_t episodes_total = 0;
+  FaultStatus faults;
+
+  /// Full registry state for /metrics (may be empty when the publish was
+  /// driven by a /statusz poll only — metrics demand is tracked separately
+  /// so a 10 Hz dashboard never pays for sketch percentile queries).
+  bool has_metrics = false;
+  obs::MetricsSnapshot metrics;
+
+  /// Tail of the decision log, pre-rendered as JSONL lines (bounded).
+  std::vector<std::string> decision_tail;
+  std::size_t decisions_total = 0;
+
+  /// Render the /statusz JSON document (everything except metrics/tail).
+  std::string to_json() const;
+};
+
+/// Wait-free SPSC triple buffer. One writer thread calls publish(); one
+/// reader thread calls read(). (Both sides are single-threaded by design:
+/// the sim loop writes, the ctl server's accept loop reads.)
+class SnapshotBoard {
+ public:
+  /// Publish a snapshot (writer side). Stamps snapshot.seq.
+  void publish(StatusSnapshot snapshot) {
+    snapshot.seq = ++publish_seq_;
+    slots_[write_idx_] = std::move(snapshot);
+    const unsigned prev =
+        state_.exchange(write_idx_ | kFresh, std::memory_order_acq_rel);
+    write_idx_ = prev & kIdxMask;
+  }
+
+  /// Latest snapshot (reader side); seq 0 until the first publish. The
+  /// reference stays valid until the next read() call on this board.
+  const StatusSnapshot& read() {
+    const unsigned cur = state_.load(std::memory_order_acquire);
+    if (cur & kFresh) {
+      const unsigned prev =
+          state_.exchange(read_idx_, std::memory_order_acq_rel);
+      read_idx_ = prev & kIdxMask;
+    }
+    return slots_[read_idx_];
+  }
+
+  std::uint64_t published() const { return publish_seq_; }
+
+ private:
+  static constexpr unsigned kIdxMask = 0x3;
+  static constexpr unsigned kFresh = 0x4;
+
+  // {write_idx_, state_ & kIdxMask, read_idx_} is always a permutation of
+  // {0, 1, 2}: the writer only ever takes the slot it got back from the
+  // exchange, which is never the reader's current slot.
+  StatusSnapshot slots_[3];
+  std::atomic<unsigned> state_{1};
+  unsigned write_idx_ = 2;
+  unsigned read_idx_ = 0;  // slot 0 starts as the reader's (empty) snapshot
+  std::uint64_t publish_seq_ = 0;  // writer-private
+};
+
+}  // namespace sora::ctl

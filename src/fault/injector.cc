@@ -48,6 +48,8 @@ void FaultInjector::arm() {
   }
 }
 
+void FaultInjector::trigger(const FaultEvent& ev) { fire(ev); }
+
 void FaultInjector::fire(const FaultEvent& ev) {
   ++events_fired_;
   count_event(ev.kind);

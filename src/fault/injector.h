@@ -68,6 +68,12 @@ class FaultInjector {
   void arm();
 
   const FaultPlan& plan() const { return plan_; }
+  bool armed() const { return armed_; }
+
+  /// Fire an ad-hoc event immediately (ctl plane's `fault ...` command).
+  /// Must be called from inside a simulator callback — the ctl safepoint is
+  /// one — so the fault lands at a well-defined point in event order.
+  void trigger(const FaultEvent& ev);
 
   // -- outcome counters --------------------------------------------------------
 

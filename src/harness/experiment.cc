@@ -216,6 +216,10 @@ void Experiment::enable_faults(FaultPlan plan) {
   fault_plan_ = std::move(plan);
 }
 
+void Experiment::enable_ctl(ctl::CtlOptions options) {
+  ctl_options_ = options;
+}
+
 AdmissionController& Experiment::enable_admission(const std::string& service,
                                                   AdmissionOptions options) {
   Service* svc = app_->service(service);
@@ -251,6 +255,36 @@ void Experiment::start_all() {
         std::move(*fault_plan_), std::move(hooks), config_.seed);
     fault_injector_->arm();
   }
+  if (!ctl_options_.has_value()) {
+    // Opt-in without a rebuild: SORA_CTL_PORT=<port> attaches the
+    // introspection server to any harness-built binary.
+    if (const char* env = std::getenv("SORA_CTL_PORT")) {
+      char* end = nullptr;
+      const long port = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && port >= 0 && port <= 65535) {
+        ctl::CtlOptions opts;
+        opts.port = static_cast<int>(port);
+        ctl_options_ = opts;
+      } else {
+        SORA_WARN << "ignoring invalid SORA_CTL_PORT '" << env << "'";
+      }
+    }
+  }
+  if (ctl_options_.has_value()) {
+    // Built here, like the fault injector: the snapshot hooks must see
+    // every control plane, whatever the enable_* call order was.
+    ctl::CtlPlane::Hooks hooks;
+    hooks.sim = &sim_;
+    hooks.app = app_.get();
+    hooks.recorder = recorder_.get();
+    hooks.decision_log = &decision_log_;
+    hooks.slo_monitor = slo_monitor_.get();
+    hooks.fault_injector = fault_injector_.get();
+    for (auto& fw : frameworks_) hooks.frameworks.push_back(fw.get());
+    ctl_plane_ =
+        std::make_unique<ctl::CtlPlane>(*ctl_options_, std::move(hooks));
+    ctl_plane_->start();
+  }
   if (!tracked_.empty()) {
     track_tick_ = sim_.schedule_periodic(config_.timeline_bucket,
                                          [this] { sample_tracked(); });
@@ -280,6 +314,9 @@ void Experiment::run() {
     slo_monitor_->finish(sim_.now());
     attributor_->flush(sim_.now());
   }
+  // Leave the final state on the board so dashboards attached after the
+  // run (or between phased runs) see the end-of-run picture.
+  if (ctl_plane_ != nullptr) ctl_plane_->publish_now(false);
 }
 
 void Experiment::run_until(SimTime t) {

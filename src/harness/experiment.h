@@ -13,6 +13,7 @@
 
 #include "admission/controller.h"
 #include "autoscale/firm.h"
+#include "ctl/plane.h"
 #include "autoscale/hpa.h"
 #include "autoscale/vpa.h"
 #include "core/sora.h"
@@ -132,6 +133,18 @@ class Experiment {
   /// Call before the run; one controller per service (last call wins).
   AdmissionController& enable_admission(const std::string& service,
                                         AdmissionOptions options = {});
+
+  // -- runtime introspection & control (ctl plane) ------------------------------
+
+  /// Start the embedded introspection/control server (src/ctl) with the
+  /// run: /metrics, /statusz, /logz, /decisions, and /ctl commands applied
+  /// at safepoints. The plane is constructed and started at start_all(), so
+  /// its snapshot hooks see every control plane added to the experiment.
+  /// Also enabled automatically when the SORA_CTL_PORT environment variable
+  /// is set (its value is the port). Call before the run; last call wins.
+  void enable_ctl(ctl::CtlOptions options = {});
+  /// The running plane; null before start_all() or when never enabled.
+  ctl::CtlPlane* ctl_plane() { return ctl_plane_.get(); }
 
   // -- fault injection ----------------------------------------------------------
 
@@ -263,6 +276,11 @@ class Experiment {
   // Profiler state at construction; summary() reports the delta, so
   // back-to-back experiments in one process attribute costs correctly.
   std::vector<obs::StageStats> profile_baseline_;
+
+  // Declared last: the plane's server thread reads state owned by the
+  // members above, so it must be torn down first.
+  std::optional<ctl::CtlOptions> ctl_options_;
+  std::unique_ptr<ctl::CtlPlane> ctl_plane_;
 };
 
 }  // namespace sora

@@ -59,6 +59,7 @@ std::string ControlDecisionRecord::to_json() const {
   }
 
   if (!fault_kind.empty()) obj.field("fault_kind", fault_kind);
+  if (!command.empty()) obj.field("command", command);
 
   if (fast_burn != 0.0 || slow_burn != 0.0) {
     obj.field("fast_burn", fast_burn).field("slow_burn", slow_burn);

@@ -77,6 +77,12 @@ struct ControlDecisionRecord {
   /// control_stall); empty on ordinary controller records.
   std::string fault_kind;
 
+  // -- runtime control (ctl plane) ----------------------------------------------
+  /// The verbatim command line on controller=="ctl" records. The pair
+  /// (at, command) is the replay script: re-applying these at the same
+  /// safepoints reproduces the run byte-identically.
+  std::string command;
+
   // -- verdict ------------------------------------------------------------------
   /// "applied", "explored", "proportional", "none", "stalled" (soft);
   /// "scale_up", "scale_down", "scale_out", "scale_in", "hold", "stalled"

@@ -88,6 +88,17 @@ HistogramMetric& MetricsRegistry::histogram(const std::string& name,
   return series(name, std::move(labels), MetricKind::kHistogram).histogram;
 }
 
+const HistogramMetric* MetricsRegistry::find_histogram(
+    const std::string& name, MetricLabels labels) const {
+  std::sort(labels.begin(), labels.end());
+  const std::string key = name + '|' + labels_to_string(labels);
+  const auto it = index_.find(key);
+  if (it == index_.end() || it->second->kind != MetricKind::kHistogram) {
+    return nullptr;
+  }
+  return &it->second->histogram;
+}
+
 void MetricsRegistry::begin_window() {
   window_start_ = now();
   for (Series& s : storage_) s.window_baseline = s.scalar();

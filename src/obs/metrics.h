@@ -142,6 +142,12 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name, MetricLabels labels = {});
   HistogramMetric& histogram(const std::string& name, MetricLabels labels = {});
 
+  /// Const lookup of an existing histogram series; nullptr when absent.
+  /// Unlike histogram(), never creates the series — read paths (the ctl
+  /// plane's /statusz assembly) must not grow the registry.
+  const HistogramMetric* find_histogram(const std::string& name,
+                                        MetricLabels labels = {}) const;
+
   /// Mark the start of a measurement window: subsequent snapshots report
   /// deltas relative to this instant. Series created after begin_window()
   /// have a baseline of 0.

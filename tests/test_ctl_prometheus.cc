@@ -1,0 +1,322 @@
+// Conformance tests for the Prometheus text exposition (format 0.0.4):
+// sanitized names, escaped label values, one TYPE line per family, counter
+// _total convention, histogram-as-summary rendering. The suite parses the
+// rendered output line-by-line with the format's own grammar rather than
+// grepping for substrings, so any malformed byte fails loudly.
+#include "ctl/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace sora::ctl {
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+                       c == '_' || c == ':';
+    if (i == 0 ? !alpha
+               : !(alpha || std::isdigit(static_cast<unsigned char>(c)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  if (name.size() >= 2 && name[0] == '_' && name[1] == '_') return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha =
+        std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+    if (i == 0 ? !alpha
+               : !(alpha || std::isdigit(static_cast<unsigned char>(c)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;  ///< values still escaped
+  std::string value;
+};
+
+struct Exposition {
+  std::map<std::string, std::string> types;  ///< family -> type
+  std::vector<Sample> samples;
+  std::vector<std::string> errors;
+};
+
+/// Parse one `name{l1="v1",...} value` sample line per the exposition
+/// grammar (escape-aware label value scanning; no regex shortcuts).
+bool parse_sample(const std::string& line, Sample* out, std::string* err) {
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  out->name = line.substr(0, i);
+  if (!valid_metric_name(out->name)) {
+    *err = "bad metric name in: " + line;
+    return false;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      if (eq == std::string::npos || eq + 1 >= line.size() ||
+          line[eq + 1] != '"') {
+        *err = "malformed label in: " + line;
+        return false;
+      }
+      const std::string label = line.substr(i, eq - i);
+      if (!valid_label_name(label)) {
+        *err = "bad label name '" + label + "' in: " + line;
+        return false;
+      }
+      std::size_t j = eq + 2;
+      std::string value;
+      while (j < line.size() && line[j] != '"') {
+        if (line[j] == '\\') {
+          if (j + 1 >= line.size() ||
+              (line[j + 1] != '\\' && line[j + 1] != '"' &&
+               line[j + 1] != 'n')) {
+            *err = "bad escape in: " + line;
+            return false;
+          }
+          value += line[j];
+          value += line[j + 1];
+          j += 2;
+        } else if (line[j] == '\n') {
+          *err = "raw newline in label value: " + line;
+          return false;
+        } else {
+          value += line[j];
+          ++j;
+        }
+      }
+      if (j >= line.size()) {
+        *err = "unterminated label value in: " + line;
+        return false;
+      }
+      out->labels[label] = value;
+      i = j + 1;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      *err = "unterminated label set in: " + line;
+      return false;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    *err = "missing value separator in: " + line;
+    return false;
+  }
+  out->value = line.substr(i + 1);
+  if (out->value.empty() || out->value.find(' ') != std::string::npos) {
+    *err = "malformed value in: " + line;
+    return false;
+  }
+  return true;
+}
+
+Exposition parse_exposition(const std::string& text) {
+  Exposition out;
+  std::size_t pos = 0;
+  EXPECT_FALSE(text.empty()) << "empty exposition";
+  if (!text.empty()) {
+    EXPECT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  }
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) break;
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      if (sp == std::string::npos) {
+        out.errors.push_back("malformed TYPE line: " + line);
+        continue;
+      }
+      const std::string family = line.substr(7, sp - 7);
+      const std::string type = line.substr(sp + 1);
+      if (out.types.count(family) != 0) {
+        out.errors.push_back("duplicate TYPE for family: " + family);
+      }
+      if (type != "counter" && type != "gauge" && type != "summary" &&
+          type != "histogram" && type != "untyped") {
+        out.errors.push_back("unknown type '" + type + "' for " + family);
+      }
+      out.types[family] = type;
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments are legal
+    Sample s;
+    std::string err;
+    if (!parse_sample(line, &s, &err)) {
+      out.errors.push_back(err);
+      continue;
+    }
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+// -- sanitizer units ----------------------------------------------------------
+
+TEST(PrometheusSanitize, MetricNamesMapInvalidCharsToUnderscore) {
+  EXPECT_EQ(sanitize_metric_name("pool.queue-depth"), "pool_queue_depth");
+  EXPECT_EQ(sanitize_metric_name("rpc.latency_us"), "rpc_latency_us");
+  EXPECT_EQ(sanitize_metric_name("already_fine:x"), "already_fine:x");
+  EXPECT_EQ(sanitize_metric_name("spaced out"), "spaced_out");
+}
+
+TEST(PrometheusSanitize, LeadingDigitGainsUnderscore) {
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_TRUE(valid_metric_name(sanitize_metric_name("42")));
+}
+
+TEST(PrometheusSanitize, EmptyNameStaysValid) {
+  EXPECT_TRUE(valid_metric_name(sanitize_metric_name("")));
+}
+
+TEST(PrometheusSanitize, LabelNamesForbidColonAndReservedPrefix) {
+  EXPECT_EQ(sanitize_label_name("service-name"), "service_name");
+  EXPECT_EQ(sanitize_label_name("a:b"), "a_b");
+  // "__" prefix is reserved by Prometheus; the sanitizer must not mint it.
+  EXPECT_TRUE(valid_label_name(sanitize_label_name("__reserved")));
+  EXPECT_TRUE(valid_label_name(sanitize_label_name("--flag")));
+}
+
+TEST(PrometheusSanitize, LabelValueEscaping) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\"b"), "a\\\"b");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("a\nb"), "a\\nb");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+// -- whole-snapshot conformance ----------------------------------------------
+
+TEST(PrometheusExposition, NastyRegistryRendersCleanly) {
+  obs::MetricsRegistry reg;
+  // The registry's native naming: dotted families, dashed service names,
+  // plus deliberately hostile label values.
+  reg.counter("pool.resizes", {{"service", "cart-v2"}}).add(3);
+  reg.counter("pool.resizes", {{"service", "front-end"}}).add(1);
+  reg.gauge("pool.queue-depth", {{"service", "cart-v2"}}).set(7);
+  reg.counter("sim.events_total").add(12345);
+  reg.gauge("weird.value", {{"note", "line1\nline2 \"quoted\" back\\slash"}})
+      .set(1.5);
+  auto& h = reg.histogram("rpc.latency_us", {{"service", "cart-v2"}});
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i) * 1000.0);
+
+  const std::string text = to_prometheus(reg.snapshot());
+  const Exposition exp = parse_exposition(text);
+  for (const std::string& e : exp.errors) ADD_FAILURE() << e;
+
+  // Families got sanitized and typed exactly once.
+  EXPECT_EQ(exp.types.at("pool_resizes_total"), "counter");
+  EXPECT_EQ(exp.types.at("pool_queue_depth"), "gauge");
+  EXPECT_EQ(exp.types.at("rpc_latency_us"), "summary");
+  // A counter already ending in _total keeps a single suffix.
+  EXPECT_EQ(exp.types.count("sim_events_total_total"), 0u);
+  EXPECT_EQ(exp.types.at("sim_events_total"), "counter");
+
+  // Every sample's family has a TYPE line (strip summary suffixes).
+  for (const Sample& s : exp.samples) {
+    std::string family = s.name;
+    for (const char* suffix : {"_sum", "_count"}) {
+      const std::string suf(suffix);
+      if (family.size() > suf.size() &&
+          family.compare(family.size() - suf.size(), suf.size(), suf) == 0 &&
+          exp.types.count(family) == 0) {
+        family = family.substr(0, family.size() - suf.size());
+      }
+    }
+    EXPECT_EQ(exp.types.count(family), 1u) << "untyped family of " << s.name;
+  }
+
+  // Hostile label value survives with exact escaping.
+  bool found_weird = false;
+  for (const Sample& s : exp.samples) {
+    if (s.name != "weird_value") continue;
+    found_weird = true;
+    EXPECT_EQ(s.labels.at("note"),
+              "line1\\nline2 \\\"quoted\\\" back\\\\slash");
+  }
+  EXPECT_TRUE(found_weird);
+
+  // Histogram renders as a summary: three quantiles + _sum + _count with
+  // the right per-series labels.
+  int quantiles = 0;
+  for (const Sample& s : exp.samples) {
+    if (s.name == "rpc_latency_us") {
+      EXPECT_EQ(s.labels.at("service"), "cart-v2");
+      EXPECT_TRUE(s.labels.count("quantile"));
+      ++quantiles;
+    }
+    if (s.name == "rpc_latency_us_count") {
+      EXPECT_EQ(s.value, "100");
+    }
+  }
+  EXPECT_EQ(quantiles, 3);
+
+  // Two series of one counter family -> two samples under one TYPE line.
+  int resize_samples = 0;
+  for (const Sample& s : exp.samples) {
+    if (s.name == "pool_resizes_total") ++resize_samples;
+  }
+  EXPECT_EQ(resize_samples, 2);
+}
+
+TEST(PrometheusExposition, KindCollisionDegradesToUntyped) {
+  obs::MetricsRegistry reg;
+  reg.gauge("clash").set(1);
+  reg.histogram("clash", {{"which", "h"}}).observe(5.0);
+  const Exposition exp = parse_exposition(to_prometheus(reg.snapshot()));
+  for (const std::string& e : exp.errors) ADD_FAILURE() << e;
+  // One family, one TYPE line, degraded to untyped (never two TYPE lines).
+  EXPECT_EQ(exp.types.at("clash"), "untyped");
+  EXPECT_EQ(exp.types.size(), 1u);
+}
+
+TEST(PrometheusExposition, EmptySnapshotRendersNothing) {
+  obs::MetricsRegistry reg;
+  EXPECT_TRUE(to_prometheus(reg.snapshot()).empty());
+}
+
+TEST(PrometheusExposition, NonFiniteValuesUseSpecialForms) {
+  obs::MetricsRegistry reg;
+  reg.gauge("inf_gauge").set(std::numeric_limits<double>::infinity());
+  // A histogram with zero observations reports NaN percentiles.
+  reg.histogram("empty.hist");
+  const std::string text = to_prometheus(reg.snapshot());
+  const Exposition exp = parse_exposition(text);
+  for (const std::string& e : exp.errors) ADD_FAILURE() << e;
+  bool saw_inf = false;
+  for (const Sample& s : exp.samples) {
+    if (s.name == "inf_gauge") {
+      saw_inf = true;
+      EXPECT_EQ(s.value, "+Inf");
+    }
+    // Whatever the value, it must be parseable as one token (the grammar
+    // check in parse_sample already enforced no embedded spaces).
+  }
+  EXPECT_TRUE(saw_inf);
+}
+
+}  // namespace
+}  // namespace sora::ctl

@@ -1,0 +1,145 @@
+// Tests for the in-process log ring behind /logz: retention order,
+// wraparound, truncation, and the level filter sitting in front of it.
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sora {
+namespace {
+
+/// Stateless discard sink: safe even with several writer threads logging
+/// concurrently (an ostringstream here would be a data race).
+class NullBuf : public std::streambuf {
+ protected:
+  int overflow(int c) override { return c; }
+  std::streamsize xsputn(const char*, std::streamsize n) override { return n; }
+};
+
+/// Mutes std::cerr (the ring still retains every line) and restores the
+/// level + ring state afterwards so other suites see a clean slate.
+class RingFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    old_level_ = log_level();
+    old_buf_ = std::cerr.rdbuf(&sink_);
+    set_log_level(LogLevel::kInfo);
+    log_ring_clear();
+  }
+  void TearDown() override {
+    std::cerr.rdbuf(old_buf_);
+    set_log_level(old_level_);
+    log_ring_clear();
+  }
+
+ private:
+  NullBuf sink_;
+  LogLevel old_level_ = LogLevel::kWarn;
+  std::streambuf* old_buf_ = nullptr;
+};
+
+TEST_F(RingFixture, CapacityIsAPowerOfTwo) {
+  const std::size_t cap = log_ring_capacity();
+  ASSERT_GT(cap, 0u);
+  EXPECT_EQ(cap & (cap - 1), 0u);
+}
+
+TEST_F(RingFixture, RetainsLinesOldestFirst) {
+  SORA_INFO << "ring first";
+  SORA_WARN << "ring second";
+  SORA_ERROR << "ring third";
+  const auto lines = log_ring_recent(10);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "[INFO] ring first");
+  EXPECT_EQ(lines[1], "[WARN] ring second");
+  EXPECT_EQ(lines[2], "[ERROR] ring third");
+  EXPECT_EQ(log_ring_total(), 3u);
+}
+
+TEST_F(RingFixture, MaxLinesReturnsTheTail) {
+  for (int i = 0; i < 5; ++i) SORA_INFO << "tail " << i;
+  const auto lines = log_ring_recent(2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[INFO] tail 3");
+  EXPECT_EQ(lines[1], "[INFO] tail 4");
+}
+
+TEST_F(RingFixture, LevelFilterAppliesBeforeRetention) {
+  SORA_DEBUG << "below threshold";
+  SORA_INFO << "kept";
+  const auto lines = log_ring_recent(10);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[INFO] kept");
+}
+
+// The load-bearing wraparound case: after logging well past capacity, the
+// ring holds exactly the newest `capacity` lines, still oldest-first, with
+// no gaps, duplicates, or stale pre-wrap lines.
+TEST_F(RingFixture, WraparoundKeepsExactlyTheNewestCapacityLines) {
+  const std::size_t cap = log_ring_capacity();
+  const std::size_t total = cap + cap / 2 + 7;  // wraps 1.5x, off-aligned
+  for (std::size_t i = 0; i < total; ++i) SORA_INFO << "wrap " << i;
+  EXPECT_EQ(log_ring_total(), total);
+
+  const auto lines = log_ring_recent(cap);
+  ASSERT_EQ(lines.size(), cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const std::size_t expect = total - cap + i;
+    EXPECT_EQ(lines[i], "[INFO] wrap " + std::to_string(expect))
+        << "slot " << i;
+  }
+  // Asking for more than capacity still yields at most capacity lines.
+  EXPECT_EQ(log_ring_recent(cap * 4).size(), cap);
+}
+
+TEST_F(RingFixture, OverlongLinesAreHardTruncated) {
+  const std::string payload(1000, 'x');
+  SORA_INFO << payload;
+  const auto lines = log_ring_recent(1);
+  ASSERT_EQ(lines.size(), 1u);
+  // Slots are fixed-size; the retained line is a prefix of the full one.
+  EXPECT_LT(lines[0].size(), payload.size());
+  EXPECT_EQ(lines[0].rfind("[INFO] xxx", 0), 0u);
+  EXPECT_EQ(lines[0].find_first_not_of('x', 7), std::string::npos);
+}
+
+TEST_F(RingFixture, ClearForgetsEverything) {
+  SORA_INFO << "gone after clear";
+  log_ring_clear();
+  EXPECT_TRUE(log_ring_recent(10).empty());
+  EXPECT_EQ(log_ring_total(), 0u);
+}
+
+// Concurrent writers on several threads: the reader must never crash, never
+// return torn lines, and every returned line must be one that some writer
+// actually emitted in full.
+TEST_F(RingFixture, ConcurrentWritersProduceOnlyIntactLines) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SORA_INFO << "w" << t << " line " << i << " payload-payload-payload";
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    for (const std::string& line : log_ring_recent(64)) {
+      EXPECT_EQ(line.rfind("[INFO] w", 0), 0u) << "torn line: " << line;
+      EXPECT_NE(line.find("payload-payload-payload"), std::string::npos)
+          << "torn line: " << line;
+    }
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(log_ring_total(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,182 @@
+// sora_top — live terminal dashboard for a running experiment.
+//
+// Polls the embedded ctl server's /statusz endpoint and renders a
+// refreshing per-service table: replicas, CPU limit, thread pool occupancy,
+// queue depth, p99, admission limit/shed and the current knee estimate.
+//
+//   SORA_CTL_PORT=8080 ./fig10_firm_vs_sora &   # terminal 1
+//   ./sora_top --port 8080                      # terminal 2
+//
+// Flags:
+//   --host <addr>        default 127.0.0.1
+//   --port <port>        default 8080 (or $SORA_CTL_PORT)
+//   --interval-ms <ms>   poll period, default 1000
+//   --once               print one frame and exit (no ANSI clear; CI-safe)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "ctl/http.h"
+#include "ctl/json_value.h"
+
+namespace {
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  int interval_ms = 1000;
+  bool once = false;
+};
+
+bool parse_args(int argc, char** argv, Options* out) {
+  if (const char* env = std::getenv("SORA_CTL_PORT")) {
+    out->port = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--host") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->port = std::atoi(v);
+    } else if (arg == "--interval-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      out->interval_ms = std::atoi(v);
+    } else if (arg == "--once") {
+      out->once = true;
+    } else {
+      return false;
+    }
+  }
+  return out->port > 0 && out->interval_ms > 0;
+}
+
+std::string fmt_count(double v) {
+  char buf[32];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", v / 1e6);
+  } else if (v >= 1e4) {
+    std::snprintf(buf, sizeof(buf), "%.0fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+void render(const sora::ctl::JsonValue& status, const Options& opts) {
+  if (!opts.once) {
+    // Home + clear-to-end beats full clears: no flicker at 1 Hz.
+    std::fputs("\x1b[H\x1b[J", stdout);
+  }
+  std::printf("sora_top — http://%s:%d  sim %.1fs  %s  events/s %s  log %s\n",
+              opts.host.c_str(), opts.port, status["sim_time_sec"].as_number(),
+              status["paused"].as_bool() ? "PAUSED" : "running",
+              fmt_count(status["events_per_sec"].as_number()).c_str(),
+              status["log_level"].as_string().c_str());
+  std::printf(
+      "requests: injected %s  completed %s  shed %s  e2e p99 %.1f ms\n",
+      fmt_count(status["injected"].as_number()).c_str(),
+      fmt_count(status["completed"].as_number()).c_str(),
+      fmt_count(status["shed"].as_number()).c_str(),
+      status["e2e_p99_ms"].as_number());
+  std::printf("ctl: %0.f applied / %0.f rejected   decisions %s",
+              status["commands_applied"].as_number(),
+              status["commands_rejected"].as_number(),
+              fmt_count(status["decisions_total"].as_number()).c_str());
+  const auto& faults = status["faults"];
+  if (faults["armed"].as_bool()) {
+    std::printf("   faults: %0.f fired, %0.f crashes, %0.f stalls",
+                faults["events_fired"].as_number(),
+                faults["crashes"].as_number(), faults["stalls"].as_number());
+  }
+  std::printf("\n\n");
+
+  std::printf("%-18s %4s %6s %9s %6s %7s %9s  %-26s %6s\n", "SERVICE", "REP",
+              "CORES", "THREADS", "QUEUE", "P99MS", "COMPL", "ADMISSION",
+              "KNEE");
+  for (const auto& svc : status["services"].as_array()) {
+    std::string admission = "-";
+    if (svc.has("admission")) {
+      const auto& adm = svc["admission"];
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s lim %.0f shed %s",
+                    adm["policy"].as_string().c_str(),
+                    adm["limit"].as_number(),
+                    fmt_count(adm["shed"].as_number()).c_str());
+      admission = buf;
+    }
+    char threads[24];
+    const double cap = svc["threads_capacity"].as_number();
+    if (cap >= 1e8) {  // unbounded pools use a huge sentinel capacity
+      std::snprintf(threads, sizeof(threads), "%.0f/-",
+                    svc["threads_in_use"].as_number());
+    } else {
+      std::snprintf(threads, sizeof(threads), "%.0f/%.0f",
+                    svc["threads_in_use"].as_number(), cap);
+    }
+    const double knee = svc["knee"].as_number();
+    char knee_buf[16] = "-";
+    if (knee > 0) std::snprintf(knee_buf, sizeof(knee_buf), "%.1f", knee);
+    std::printf("%-18s %4.0f %6.2f %9s %6.0f %7.1f %9s  %-26s %6s\n",
+                svc["name"].as_string().c_str(), svc["replicas"].as_number(),
+                svc["cpu_limit_cores"].as_number(), threads,
+                svc["queue_depth"].as_number(), svc["p99_ms"].as_number(),
+                fmt_count(svc["completions"].as_number()).c_str(),
+                admission.c_str(), knee_buf);
+  }
+
+  const auto& episodes = status["active_episodes"].as_array();
+  if (!episodes.empty()) {
+    std::printf("\nSLO burn episodes (open):\n");
+    for (const auto& ep : episodes) {
+      std::printf("  %-12s since %.1fs  peak fast burn %.2f\n",
+                  ep["entity"].as_string().c_str(),
+                  ep["start_sec"].as_number(),
+                  ep["peak_fast_burn"].as_number());
+    }
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) {
+    std::fprintf(stderr,
+                 "usage: sora_top [--host H] [--port P] [--interval-ms N] "
+                 "[--once]\n");
+    return 2;
+  }
+
+  int failures = 0;
+  for (;;) {
+    std::string body;
+    if (!sora::ctl::http_get(opts.host, opts.port, "/statusz", &body)) {
+      if (opts.once || ++failures > 5) {
+        std::fprintf(stderr, "sora_top: no ctl server at %s:%d\n",
+                     opts.host.c_str(), opts.port);
+        return 1;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts.interval_ms));
+      continue;
+    }
+    failures = 0;
+    sora::ctl::JsonValue status;
+    if (sora::ctl::parse_json(body, &status)) {
+      render(status, opts);
+    }
+    if (opts.once) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+  }
+}
