@@ -34,6 +34,7 @@
 #include "ctl/http.h"
 #include "ctl/json_value.h"
 #include "ctl/plane.h"
+#include "harness/causal_lab.h"
 #include "harness/sweep.h"
 #include "obs/json.h"
 
@@ -57,8 +58,10 @@ struct EngineResult {
 
 /// The canonical single run: 1 minute of Sock Shop browse traffic against a
 /// 4-core cart with a fixed 12-thread pool (mid-sweep operating point).
-/// SORA_PERF_SMOKE_MINUTES lengthens the probe (profiling runs).
-EngineResult run_engine_probe() {
+/// SORA_PERF_SMOKE_MINUTES lengthens the probe (profiling runs). With
+/// `digest`, the causal profiler's per-event digest is folded in — the only
+/// hot-path cost causal profiling adds to an instrumented run.
+EngineResult run_engine_probe(bool digest = false) {
   sock_shop::Params params;
   params.cart_cores = 4.0;
   params.cart_threads = 12;
@@ -72,6 +75,7 @@ EngineResult run_engine_probe() {
   ecfg.seed = 42;
   Experiment exp(sock_shop::make_sock_shop(params), ecfg);
   exp.closed_loop(600, sec(1), RequestMix(sock_shop::kBrowse));
+  if (digest) exp.sim().set_digest_enabled(true);
 
   const auto start = WallClock::now();
   exp.run();
@@ -144,6 +148,55 @@ CtlProbeResult run_ctl_overhead_probe(double baseline_events_per_sec) {
     r.overhead_pct =
         (1.0 - r.events_per_sec / baseline_events_per_sec) * 100.0;
   }
+  return r;
+}
+
+struct CausalProbeResult {
+  double digest_events_per_sec = 0.0;
+  double digest_overhead_pct = 0.0;  ///< vs the digest-off engine probe
+  double round_wall_sec = 0.0;       ///< one serial profiling round
+  std::uint64_t round_runs = 0;      ///< baseline + control + counterfactuals
+};
+
+/// Cost of causal profiling when it is switched ON: the digest-instrumented
+/// engine probe, plus one serial CausalLab round on a short cart scenario
+/// (baseline + control re-run + 3 counterfactuals).
+CausalProbeResult run_causal_probe(double baseline_events_per_sec) {
+  CausalProbeResult r;
+  const EngineResult digest = run_engine_probe(/*digest=*/true);
+  r.digest_events_per_sec = digest.events_per_sec;
+  if (baseline_events_per_sec > 0 && digest.events_per_sec > 0) {
+    r.digest_overhead_pct =
+        (1.0 - digest.events_per_sec / baseline_events_per_sec) * 100.0;
+  }
+
+  CausalLabOptions opts;
+  opts.checkpoint = sec(10);
+  opts.speedup_factors = {0.9};
+  opts.pool_delta = 2;
+  opts.cap_delta = 0;
+  opts.services = {"cart"};
+  opts.threads = 1;
+  opts.scenario = "perf_probe";
+  CausalLab lab(
+      [] {
+        sock_shop::Params params;
+        params.cart_cores = 4.0;
+        params.cart_threads = 12;
+        ExperimentConfig ecfg;
+        ecfg.duration = sec(20);
+        ecfg.sla = msec(250);
+        ecfg.seed = 42;
+        auto exp = std::make_unique<Experiment>(
+            sock_shop::make_sock_shop(params), ecfg);
+        exp->closed_loop(400, sec(1), RequestMix(sock_shop::kBrowse));
+        return exp;
+      },
+      opts);
+  const auto start = WallClock::now();
+  const obs::CausalProfile profile = lab.run();
+  r.round_wall_sec = elapsed_sec(start);
+  r.round_runs = 2 + profile.effects.size();
   return r;
 }
 
@@ -237,6 +290,37 @@ void append_trajectory(const std::string& path, const std::string& entry) {
   os << entry << "\n]\n";
 }
 
+/// Trajectory schema check: every committed entry must carry the keys the
+/// perf gate and trajectory tooling key on. Returns "" when the file is
+/// absent/empty or every entry validates; otherwise the first problem.
+std::string validate_trajectory(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = trim(buf.str());
+  if (text.empty()) return "";
+  ctl::JsonValue doc;
+  if (!ctl::parse_json(text, &doc)) return "unparsable JSON";
+  if (doc.kind() != ctl::JsonValue::Kind::kArray) return "not a JSON array";
+  static const char* const kRequired[] = {"bench", "git_sha", "date",
+                                          "engine_events_per_sec"};
+  std::size_t i = 0;
+  for (const auto& entry : doc.as_array()) {
+    for (const char* key : kRequired) {
+      if (!entry.has(key)) {
+        return "entry " + std::to_string(i) + " missing \"" + key + "\"";
+      }
+    }
+    if (!(entry["engine_events_per_sec"].as_number() > 0)) {
+      return "entry " + std::to_string(i) +
+             ": engine_events_per_sec not positive";
+    }
+    ++i;
+  }
+  return "";
+}
+
 /// Best engine_events_per_sec across the committed trajectory entries
 /// (0 when the file is missing, unparsable, or empty).
 double best_trajectory_events_per_sec(const std::string& path) {
@@ -297,6 +381,16 @@ int main_impl(int argc, char** argv) {
       out_path = arg;
     }
   }
+  // Gate mode refuses to extend a malformed trajectory: catching a bad
+  // entry here (hand-edit, merge damage) beats silently gating against it.
+  if (gate) {
+    const std::string problem = validate_trajectory(out_path);
+    if (!problem.empty()) {
+      std::cout << "perf gate: FAIL — malformed trajectory " << out_path
+                << ": " << problem << "\n";
+      return 2;
+    }
+  }
   // Read the best committed entry BEFORE appending this run's.
   const double best_prior =
       gate ? best_trajectory_events_per_sec(out_path) : 0.0;
@@ -322,6 +416,13 @@ int main_impl(int argc, char** argv) {
   } else {
     std::cout << "  skipped (server failed to bind)\n";
   }
+
+  const CausalProbeResult causal = run_causal_probe(engine.events_per_sec);
+  std::cout << "\ncausal probe (digest-instrumented engine + 1 serial round):\n"
+            << "  digest events/s : " << fmt(causal.digest_events_per_sec / 1e6, 3)
+            << " M (overhead " << fmt(causal.digest_overhead_pct, 2) << " %)\n"
+            << "  round wall      : " << fmt(causal.round_wall_sec, 3) << " s ("
+            << causal.round_runs << " runs of a 20-s scenario)\n";
 
   const SweepResult sweep = run_sweep_probe();
   std::cout << "\nsweep probe (" << sweep.runs << " independent 20-s runs, "
@@ -352,6 +453,10 @@ int main_impl(int argc, char** argv) {
     o.field("ctl_overhead_pct", ctl.overhead_pct);
     o.field("ctl_requests_served", ctl.requests_served);
   }
+  o.field("causal_digest_events_per_sec", causal.digest_events_per_sec);
+  o.field("causal_digest_overhead_pct", causal.digest_overhead_pct);
+  o.field("causal_round_wall_sec", causal.round_wall_sec);
+  o.field("causal_round_runs", causal.round_runs);
   o.field("host_hardware_concurrency",
           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   append_trajectory(out_path, o.str());

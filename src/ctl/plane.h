@@ -116,6 +116,14 @@ class CtlPlane {
   /// final state; tests).
   void publish_now(bool with_metrics);
 
+  /// Forward a causal-profile JSON document to the server's /causalz
+  /// endpoint. No-op on a headless plane. Thread-safe (the server side
+  /// guards the string); normally called from the main thread after a
+  /// profiling round.
+  void publish_causal(const std::string& json) {
+    if (server_ != nullptr) server_->publish_causal(json);
+  }
+
   // -- introspection ----------------------------------------------------------
 
   CtlServer* server() { return server_.get(); }

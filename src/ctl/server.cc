@@ -108,7 +108,7 @@ bool CtlServer::start() {
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { accept_loop(); });
   SORA_INFO << "ctl: introspection server on http://127.0.0.1:" << port_
-            << " (/metrics /statusz /logz /decisions /ctl)";
+            << " (/metrics /statusz /logz /decisions /causalz /ctl)";
   return true;
 }
 
@@ -153,6 +153,16 @@ void CtlServer::handle_connection(int fd) {
   }
   write_all(fd, response);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CtlServer::publish_causal(std::string json) {
+  const std::lock_guard<std::mutex> lock(causal_mu_);
+  causal_json_ = std::move(json);
+}
+
+std::string CtlServer::causal_json() const {
+  const std::lock_guard<std::mutex> lock(causal_mu_);
+  return causal_json_;
 }
 
 std::string CtlServer::route(const HttpRequest& request) {
@@ -204,6 +214,12 @@ std::string CtlServer::route(const HttpRequest& request) {
     }
     return make_http_response(200, "text/plain; version=0.0.4",
                               to_prometheus(snap.metrics));
+  }
+
+  if (request.path == "/causalz") {
+    std::string body = causal_json();
+    if (body.empty()) body = "{\"profiles\":[]}";
+    return make_http_response(200, "application/json", body + "\n");
   }
 
   if (request.path == "/logz") {

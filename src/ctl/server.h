@@ -14,6 +14,7 @@
 //   GET /statusz            live JSON: sim time, services, admission, knees
 //   GET /logz?n=N           last N retained SORA_LOG lines (plain text)
 //   GET /decisions?tail=N   decision-log tail as JSONL
+//   GET /causalz            latest causal what-if profile as JSON
 //   GET|POST /ctl?cmd=...   enqueue a control command (applied at the next
 //                           safepoint; POST body is the command line)
 //   GET /healthz            liveness probe
@@ -21,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -70,6 +72,15 @@ class CtlServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// Publish (replace) the causal-profile JSON served at /causalz. Unlike
+  /// the snapshot board, this is not safepoint data: the causal profiler
+  /// publishes once per profiling round from the main thread, after its
+  /// counterfactual fan completes, so a plain mutex-guarded string is the
+  /// right tool. Thread-safe.
+  void publish_causal(std::string json);
+  /// Current /causalz body ("" when nothing published yet).
+  std::string causal_json() const;
+
  private:
   void accept_loop();
   void handle_connection(int fd);
@@ -88,6 +99,9 @@ class CtlServer {
   std::atomic<bool> status_demand_{false};
   std::atomic<bool> metrics_demand_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+
+  mutable std::mutex causal_mu_;
+  std::string causal_json_;
 };
 
 }  // namespace sora::ctl

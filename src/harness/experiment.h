@@ -124,6 +124,12 @@ class Experiment {
   /// Reallocation Module coordination).
   static void link(Autoscaler& scaler, SoraFramework& framework);
 
+  /// Frameworks added so far, in add order (the causal profiler reads the
+  /// first framework's localization report for cross-validation).
+  const std::vector<std::unique_ptr<SoraFramework>>& frameworks() const {
+    return frameworks_;
+  }
+
   // -- admission control ---------------------------------------------------------
 
   /// Install an admission controller on `service`, wired into this

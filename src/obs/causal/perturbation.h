@@ -1,0 +1,89 @@
+// What-if perturbations for the causal profiler.
+//
+// A perturbation is one counterfactual hypothesis applied from a checkpoint
+// onward in a forked re-run of the experiment: "what if this service were
+// 25% faster?" (COZ-style virtual speedup, realized here as a service-time
+// scale on the seeded samplers, which preserves the RNG draw count and thus
+// run determinism), "what if its entry pool had k more threads?", or "what
+// if the admission cap were k lower?". The measured effect of each
+// hypothesis on tail latency is *causal* by construction — same seeds, same
+// arrivals, one knob changed — where the Pearson localizer's evidence is
+// only observational.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/ids.h"
+
+namespace sora::obs {
+
+enum class PerturbationKind {
+  kServiceSpeedup,     ///< scale a service's demand by `factor` (< 1 = faster)
+  kEntryPoolDelta,     ///< resize a service's entry pool by `delta`
+  kAdmissionCapDelta,  ///< shift the service's admission cap bounds by `delta`
+};
+
+struct Perturbation {
+  PerturbationKind kind = PerturbationKind::kServiceSpeedup;
+  std::string service;    ///< target service name
+  ServiceId service_id;   ///< resolved id (filled by the lab)
+  double factor = 1.0;    ///< kServiceSpeedup: demand scale
+  int delta = 0;          ///< pool / admission-cap shift
+
+  /// Stable human-readable identity, e.g. "speedup(cart,0.75)",
+  /// "pool(cart,+2)", "cap(cart,-4)". Used as the profile key and in
+  /// decision-log records, so it must be deterministic.
+  std::string label() const {
+    char buf[96];
+    switch (kind) {
+      case PerturbationKind::kServiceSpeedup:
+        std::snprintf(buf, sizeof(buf), "speedup(%s,%.2f)", service.c_str(),
+                      factor);
+        break;
+      case PerturbationKind::kEntryPoolDelta:
+        std::snprintf(buf, sizeof(buf), "pool(%s,%+d)", service.c_str(), delta);
+        break;
+      case PerturbationKind::kAdmissionCapDelta:
+        std::snprintf(buf, sizeof(buf), "cap(%s,%+d)", service.c_str(), delta);
+        break;
+    }
+    return buf;
+  }
+
+  static Perturbation speedup(std::string service, double factor) {
+    Perturbation p;
+    p.kind = PerturbationKind::kServiceSpeedup;
+    p.service = std::move(service);
+    p.factor = factor;
+    return p;
+  }
+  static Perturbation pool_delta(std::string service, int delta) {
+    Perturbation p;
+    p.kind = PerturbationKind::kEntryPoolDelta;
+    p.service = std::move(service);
+    p.delta = delta;
+    return p;
+  }
+  static Perturbation cap_delta(std::string service, int delta) {
+    Perturbation p;
+    p.kind = PerturbationKind::kAdmissionCapDelta;
+    p.service = std::move(service);
+    p.delta = delta;
+    return p;
+  }
+};
+
+inline const char* to_string(PerturbationKind k) {
+  switch (k) {
+    case PerturbationKind::kServiceSpeedup:
+      return "speedup";
+    case PerturbationKind::kEntryPoolDelta:
+      return "pool";
+    case PerturbationKind::kAdmissionCapDelta:
+      return "cap";
+  }
+  return "?";
+}
+
+}  // namespace sora::obs

@@ -1,0 +1,30 @@
+// Causal-profile report generator.
+//
+// Renders one or more causal profiles (typically one per load regime) as a
+// plain-text or self-contained HTML artifact: the ranked what-if table per
+// profile (perturbation, Δp99, Δgoodput, Δknee, top attributed edge) and
+// the causal-vs-Pearson agreement table across regimes — the artifact
+// fig10 ships to show where the observational localizer and the
+// experimental ground truth diverge.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/causal/profile.h"
+
+namespace sora::obs {
+
+struct CausalReportInputs {
+  std::string title = "Causal what-if profile";
+  const std::vector<CausalProfile>* profiles = nullptr;
+};
+
+/// Plain-text report (fixed-width tables).
+void write_causal_report_text(const CausalReportInputs& in, std::ostream& os);
+
+/// Self-contained HTML report.
+void write_causal_report_html(const CausalReportInputs& in, std::ostream& os);
+
+}  // namespace sora::obs

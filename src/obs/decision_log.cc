@@ -59,6 +59,13 @@ std::string ControlDecisionRecord::to_json() const {
   }
 
   if (!fault_kind.empty()) obj.field("fault_kind", fault_kind);
+  if (!causal_rank.empty() || !causal_perturbation.empty()) {
+    if (!causal_perturbation.empty()) {
+      obj.field("causal_perturbation", causal_perturbation);
+    }
+    obj.field("causal_delta_p99_ms", causal_delta_p99_ms)
+        .field("causal_rank", causal_rank);
+  }
   if (!command.empty()) obj.field("command", command);
 
   if (fast_burn != 0.0 || slow_burn != 0.0) {

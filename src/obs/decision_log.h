@@ -77,6 +77,16 @@ struct ControlDecisionRecord {
   /// control_stall); empty on ordinary controller records.
   std::string fault_kind;
 
+  // -- causal profiling -----------------------------------------------------------
+  /// Ranked causal verdict on controller=="causal" records: the what-if
+  /// label whose effect the record describes, the measured tail-latency
+  /// delta, and the full service ranking ("cart>front-end>..."). `target`
+  /// carries the causal pick, `critical_service` the Pearson pick the round
+  /// cross-validated against.
+  std::string causal_perturbation;
+  double causal_delta_p99_ms = 0.0;
+  std::string causal_rank;
+
   // -- runtime control (ctl plane) ----------------------------------------------
   /// The verbatim command line on controller=="ctl" records. The pair
   /// (at, command) is the replay script: re-applying these at the same

@@ -122,12 +122,28 @@ void Simulator::execute_top() {
   std::pop_heap(heap_.begin(), heap_.end(), FiresAfter{});
   heap_.pop_back();
   now_ = top.at;
+  if (digest_enabled_) [[unlikely]] {
+    fold_digest(static_cast<std::uint64_t>(top.at), top.seq);
+  }
   // Free the slot before invoking so handles report !pending() inside the
   // callback and the slot is immediately reusable by new events.
   Callback cb = std::move(records_[top.slot].cb);
   release_slot(top.slot);
   ++events_executed_;
   cb();
+}
+
+void Simulator::fold_digest(std::uint64_t at, std::uint64_t seq) {
+  // FNV-1a over the (time, seq) pair of every executed event: a full
+  // fingerprint of the schedule without touching callback state.
+  const auto fold = [this](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest_ ^= (v >> (i * 8)) & 0xff;
+      digest_ *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  fold(at);
+  fold(seq);
 }
 
 bool Simulator::step() {

@@ -95,6 +95,16 @@ class Simulator {
   /// Execute at most one event; returns false if the queue is empty.
   bool step();
 
+  /// Opt-in event-stream fingerprint: when enabled, every executed event
+  /// folds its (time, seq) pair into an FNV-1a digest. Two runs that execute
+  /// the same events in the same order at the same times digest equal — the
+  /// causal profiler uses this to prove its control re-run is byte-identical
+  /// to the primary. Off by default: the hot loop pays only an untaken
+  /// branch. Enable before the first event executes for a meaningful value.
+  void set_digest_enabled(bool enabled) { digest_enabled_ = enabled; }
+  bool digest_enabled() const { return digest_enabled_; }
+  std::uint64_t digest() const { return digest_; }
+
   std::uint64_t events_executed() const { return events_executed_; }
   /// Scheduled-and-not-yet-fired events (cancelled events excluded).
   std::size_t events_pending() const { return heap_.size() - stale_in_heap_; }
@@ -164,7 +174,14 @@ class Simulator {
   std::uint32_t free_head_ = kNilSlot;
   std::size_t stale_in_heap_ = 0;
 
+  /// FNV-1a fold of one executed event's (time, seq) pair. Deliberately
+  /// out of line: the digest branch in execute_top must stay a bare
+  /// untaken test so the disabled-mode hot loop keeps its code layout.
+  void fold_digest(std::uint64_t at, std::uint64_t seq);
+
   SimTime now_ = 0;
+  bool digest_enabled_ = false;
+  std::uint64_t digest_ = 1469598103934665603ULL;  // FNV-1a offset basis
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_cancelled_ = 0;

@@ -37,6 +37,31 @@ void TraceWarehouse::for_each_in_window(
   }
 }
 
+std::uint64_t TraceWarehouse::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto fold = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  for (const Trace& t : traces_) {
+    fold(t.id.value());
+    fold(static_cast<std::uint64_t>(t.start));
+    fold(static_cast<std::uint64_t>(t.end));
+    fold(t.spans.size());
+    for (const Span& s : t.spans) {
+      fold(s.service.value());
+      fold(static_cast<std::uint64_t>(s.arrival));
+      fold(static_cast<std::uint64_t>(s.admitted));
+      fold(static_cast<std::uint64_t>(s.departure));
+      fold(static_cast<std::uint64_t>(s.downstream_wait));
+      fold((s.failed ? 1u : 0u) | (s.rejected ? 2u : 0u));
+    }
+  }
+  return h;
+}
+
 std::size_t TraceWarehouse::count_in_window(SimTime from, SimTime to) const {
   std::size_t n = 0;
   for_each_in_window(from, to, [&n](const Trace&) { ++n; });

@@ -39,6 +39,12 @@ class TraceWarehouse {
   /// Count of traces ending in [from, to].
   std::size_t count_in_window(SimTime from, SimTime to) const;
 
+  /// Order-sensitive FNV-1a fingerprint of every retained trace (ids, span
+  /// services, message timestamps, failure flags). Two warehouses from
+  /// byte-identical runs digest equal; any timing or structural divergence
+  /// changes the value. Used by the causal profiler's control-run check.
+  std::uint64_t digest() const;
+
   std::size_t size() const { return traces_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t total_stored() const { return total_stored_; }

@@ -99,6 +99,58 @@ TEST(UpstreamProcessingTime, SumsHopsAboveService) {
   EXPECT_EQ(upstream_processing_time(cp, ServiceId(9)), -1);
 }
 
+// Degenerate input: two children with exactly tied durations. The descent
+// uses a strict comparison, so the first child in call order wins — the
+// choice must be deterministic (profile output is compared byte-for-byte).
+TEST(CriticalPath, TiedChildDurationsPickFirstDeterministically) {
+  const Trace t = testutil::make_trace({
+      {-1, 0, 0, 100, 80},
+      {0, 1, 10, 90, 0, 0},
+      {0, 2, 10, 90, 0, 0},  // same duration as service 1
+  });
+  const CriticalPath a = extract_critical_path(t);
+  const CriticalPath b = extract_critical_path(t);
+  ASSERT_EQ(a.hops.size(), 2u);
+  EXPECT_EQ(a.hops[1].service, ServiceId(1));  // first call order wins
+  ASSERT_EQ(b.hops.size(), a.hops.size());
+  EXPECT_EQ(b.hops[1].service, a.hops[1].service);
+}
+
+// Degenerate input: a parent references a child span that never made it
+// into the trace (dropped span report). The walk must skip the gap, not
+// crash or follow a dangling pointer.
+TEST(CriticalPath, DanglingChildReferenceIsSkipped) {
+  Trace t = testutil::make_trace({
+      {-1, 0, 0, 100, 80},
+      {0, 1, 10, 90, 60},
+      {1, 2, 20, 80, 0},
+  });
+  // Drop the mid span (index 1) from the span list; the root's ChildCall
+  // still references its id.
+  t.spans.erase(t.spans.begin() + 1);
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 1u);  // walk stops at the gap
+  EXPECT_EQ(cp.hops[0].service, ServiceId(0));
+  EXPECT_EQ(cp.total_duration, 100);
+}
+
+// Degenerate input: a gap in the middle of a deep chain — the surviving
+// grandchild is unreachable, so only the prefix above the gap remains.
+TEST(CriticalPath, GapTruncatesPathNotWholeTrace) {
+  Trace t = testutil::make_trace({
+      {-1, 0, 0, 500, 430},
+      {0, 1, 20, 450, 350},
+      {1, 2, 50, 400, 270},
+      {2, 3, 80, 350, 0},
+  });
+  t.spans.erase(t.spans.begin() + 2);  // drop service 2's span
+  const CriticalPath cp = extract_critical_path(t);
+  ASSERT_EQ(cp.hops.size(), 2u);
+  EXPECT_EQ(cp.hops[0].service, ServiceId(0));
+  EXPECT_EQ(cp.hops[1].service, ServiceId(1));
+  EXPECT_FALSE(cp.contains(ServiceId(3)));
+}
+
 // Property: PT of all hops never exceeds the total duration, and the hop
 // list follows parent-child order.
 TEST(CriticalPath, ProcessingTimeBoundedByDuration) {

@@ -15,6 +15,7 @@
 
 #include "common/log.h"
 #include "fault/fault_plan.h"
+#include "harness/causal_lab.h"
 #include "harness/experiment.h"
 #include "harness/sweep.h"
 #include "obs/decision_log.h"
@@ -173,6 +174,45 @@ TEST(CtlReplay, CommandsFromLogExtractsOnlyCtlRecords) {
   ASSERT_EQ(script.size(), 1u);
   EXPECT_EQ(script[0].at, sec(2));
   EXPECT_EQ(script[0].text, "loglevel info");
+}
+
+// -- causal record determinism -----------------------------------------------
+
+// The causal profiler's records (one causal_effect per what-if plus the
+// causal_rank verdict) ride the same guarantee as ctl command replay: two
+// independent profiling rounds of the same scenario export byte-identical
+// decision logs, causal records included.
+TEST(CtlReplay, CausalRoundDecisionLogExportsByteForByte) {
+  const auto builder = [] {
+    ExperimentConfig cfg;
+    cfg.duration = sec(20);
+    cfg.sla = msec(100);
+    cfg.seed = 23;
+    auto exp = std::make_unique<Experiment>(testutil::chain_app(0.4), cfg);
+    exp->closed_loop(12, msec(100));
+    return exp;
+  };
+  CausalLabOptions opts;
+  opts.checkpoint = sec(8);
+  opts.speedup_factors = {0.9};
+  opts.pool_delta = 0;
+  opts.cap_delta = 0;
+  opts.services = {"mid"};
+  opts.threads = 2;
+  opts.scenario = "replay";
+
+  CausalLab first(builder, opts);
+  CausalLab second(builder, opts);
+  first.run();
+  second.run();
+
+  std::ostringstream a, b;
+  first.baseline().export_decision_log(a);
+  second.baseline().export_decision_log(b);
+  EXPECT_EQ(a.str(), b.str()) << "causal round export is not reproducible";
+  EXPECT_NE(a.str().find("\"action\":\"causal_rank\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"action\":\"causal_effect\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"causal_rank\":"), std::string::npos);
 }
 
 // -- sweep parity with ctl enabled -------------------------------------------

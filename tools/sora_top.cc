@@ -147,6 +147,31 @@ void render(const sora::ctl::JsonValue& status, const Options& opts) {
   std::fflush(stdout);
 }
 
+/// What-if panel from /causalz: the causal ranking next to the Pearson
+/// localizer's pick, plus the top measured what-ifs per profile.
+void render_causal(const sora::ctl::JsonValue& causal) {
+  const auto& profiles = causal["profiles"].as_array();
+  if (profiles.empty()) return;
+  std::printf("\nCausal what-if profile:\n");
+  for (const auto& p : profiles) {
+    std::printf("  [%s] causal %s vs pearson %s  %s   rank %s\n",
+                p["scenario"].as_string().c_str(),
+                p["causal_pick"].as_string().c_str(),
+                p["pearson_pick"].as_string().c_str(),
+                p["agree"].as_bool() ? "MATCH" : "DIVERGE",
+                p["causal_rank"].as_string().c_str());
+    const auto& effects = p["effects"].as_array();
+    for (std::size_t i = 0; i < effects.size() && i < 3; ++i) {
+      const auto& e = effects[i];
+      std::printf("    %-24s dp99 %+7.2f ms  dgoodput %+7.2f/s\n",
+                  e["perturbation"].as_string().c_str(),
+                  e["delta_p99_ms"].as_number(),
+                  e["delta_goodput"].as_number());
+    }
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -175,6 +200,15 @@ int main(int argc, char** argv) {
     sora::ctl::JsonValue status;
     if (sora::ctl::parse_json(body, &status)) {
       render(status, opts);
+      // Second, cheap GET: the causal profile changes once per profiling
+      // round, so serving it separately keeps /statusz lean.
+      std::string causal_body;
+      sora::ctl::JsonValue causal;
+      if (sora::ctl::http_get(opts.host, opts.port, "/causalz",
+                              &causal_body) &&
+          sora::ctl::parse_json(causal_body, &causal)) {
+        render_causal(causal);
+      }
     }
     if (opts.once) return 0;
     std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
