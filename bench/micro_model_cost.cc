@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "core/deadline.h"
+#include "core/localization.h"
 #include "core/scg_model.h"
 #include "obs/profiler.h"
 #include "obs/quantile_sketch.h"
@@ -96,6 +97,62 @@ void BM_CriticalPathExtraction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CriticalPathExtraction)->Arg(4)->Arg(16)->Arg(64);
+
+// -- Pearson paths: batch recompute vs. streaming co-moments ------------------
+//
+// The localizer used to rescan every window trace at analyze() time and
+// recompute PCC(PT_si, RT_CP) from scratch — O(window) per control round.
+// The streaming CorrelationAccumulator absorbs each (pt, rt) pair once at
+// trace-store time and finalizes r in O(1) per service per round. The sweep
+// shows the round cost of the batch path growing with the window size while
+// the streaming finalize stays flat.
+
+std::pair<std::vector<double>, std::vector<double>> make_pt_rt(std::size_t n) {
+  Rng rng(23);
+  std::vector<double> pt(n), rt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pt[i] = rng.uniform(500.0, 50000.0);                // hop processing, usec
+    rt[i] = 3.0 * pt[i] + rng.normal(0.0, 10000.0);     // end-to-end, usec
+  }
+  return {std::move(pt), std::move(rt)};
+}
+
+void BM_PearsonBatchRecompute(benchmark::State& state) {
+  // Old per-round cost: correlate the full window again every analyze().
+  const auto [pt, rt] = make_pt_rt(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pearson(pt, rt));
+  }
+  state.SetLabel("window=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PearsonBatchRecompute)->Arg(100)->Arg(500)->Arg(1000)->Arg(5000);
+
+void BM_PearsonStreamingAdd(benchmark::State& state) {
+  // New per-trace cost: one add() per critical-path hop at store time.
+  const auto [pt, rt] = make_pt_rt(4096);
+  CorrelationAccumulator acc;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    acc.add(pt[i & 4095], rt[i & 4095]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc.r());
+}
+BENCHMARK(BM_PearsonStreamingAdd);
+
+void BM_PearsonStreamingFinalize(benchmark::State& state) {
+  // New per-round cost: finalize r from the co-moments — O(1), so the
+  // window-size sweep is flat (same Args as the batch path for contrast).
+  const auto [pt, rt] = make_pt_rt(static_cast<std::size_t>(state.range(0)));
+  CorrelationAccumulator acc;
+  for (std::size_t i = 0; i < pt.size(); ++i) acc.add(pt[i], rt[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(acc.r());
+  }
+  state.SetLabel("window=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PearsonStreamingFinalize)
+    ->Arg(100)->Arg(500)->Arg(1000)->Arg(5000);
 
 // -- percentile paths: sorted-vector vs. quantile sketch ----------------------
 //

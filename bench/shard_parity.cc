@@ -1,0 +1,165 @@
+// Shard-parity gate: the sharded engine must reproduce the serial engine
+// byte for byte. Runs two scenarios at shard counts {1, 2, 4} and compares
+// full-precision fingerprints of everything an experiment emits:
+//
+//   (a) the Figure-10 cart trace (FIRM hardware scaling + Sora soft
+//       adaptation, Steep Tri Phase) — summary, per-second cart timeline,
+//       per-second client timeline, localization verdict;
+//   (b) a faulted Social Network run (instance crash + scatter dropout)
+//       — summary, decision-log JSONL, trace-warehouse digest.
+//
+// Any divergence prints the offending leg and exits 1, so CI can gate on
+// it. Shard counts are injected via SORA_SIM_SHARDS; SORA_NET_LATENCY_US
+// gives the zero-latency topologies a cross-service wire so multi-shard
+// windows are legal.
+//
+// Usage: shard_parity [duration_minutes] (default 2)
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/fault_plan.h"
+
+namespace sora::bench {
+namespace {
+
+void fp(std::ostringstream& os, const ExperimentSummary& s) {
+  os << s.injected << '|' << s.completed << '|' << s.shed << '|' << s.mean_ms
+     << '|' << s.p50_ms << '|' << s.p95_ms << '|' << s.p99_ms << '|'
+     << s.goodput_rps << '|' << s.throughput_rps << '|' << s.good_fraction
+     << '|' << s.slo_episodes << '\n';
+}
+
+void set_shards_env(int shards) {
+  ::setenv("SORA_SIM_SHARDS", std::to_string(shards).c_str(), 1);
+  ::setenv("SORA_NET_LATENCY_US", "500", 1);
+}
+
+std::string cart_leg(int shards, SimTime duration) {
+  set_shards_env(shards);
+  CartTraceConfig cfg;
+  cfg.shape = TraceShape::kSteepTriPhase;
+  cfg.duration = duration;
+  cfg.sla = msec(400);
+  cfg.base_users = 600;
+  cfg.peak_users = 2400;
+  cfg.initial_threads = 5;
+  cfg.initial_cores = 2.0;
+  cfg.max_cores = 4.0;
+  cfg.adaptation = SoftAdaptation::kSora;
+  const CartTraceResult r = run_cart_trace(cfg);
+
+  std::ostringstream os;
+  os.precision(17);
+  fp(os, r.summary);
+  os << r.localized_critical_service << '\n';
+  for (const auto& p : r.cart) {
+    os << p.at << ',' << p.util_pct << ',' << p.limit_pct << ',' << p.replicas
+       << ',' << p.entry_capacity << ',' << p.entry_in_use << ','
+       << p.edge_capacity << ',' << p.edge_in_use << '\n';
+  }
+  for (const auto& b : r.client) {
+    os << b.start << ',' << b.completed << ',' << b.good << ',' << b.shed
+       << ',' << b.sum_rt << ',' << b.max_rt << '\n';
+  }
+  return os.str();
+}
+
+std::string faulted_leg(int shards, SimTime duration) {
+  set_shards_env(shards);
+  social_network::Params params;
+  params.post_storage_replicas = 2;
+  ExperimentConfig cfg;
+  cfg.duration = duration;
+  cfg.sla = msec(400);
+  cfg.seed = 42;
+  Experiment exp(social_network::make_social_network(params), cfg);
+  exp.closed_loop(400, sec(1), RequestMix(social_network::kReadTimelineLight));
+  SoraFrameworkOptions so;
+  so.sla = cfg.sla;
+  so.adapter.min_size = params.post_storage_connections;
+  auto& fw = exp.add_sora(so);
+  fw.manage(
+      ResourceKnob::edge(exp.app().service("home-timeline"), "post-storage"));
+
+  FaultPlan plan;
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrashInstance;
+  crash.at = duration / 3;
+  crash.service = "post-storage";
+  crash.drop_inflight = true;
+  crash.duration = duration / 6;
+  FaultEvent scatter;
+  scatter.kind = FaultKind::kScatterDropout;
+  scatter.at = duration / 2;
+  scatter.duration = duration / 6;
+  scatter.fraction = 0.5;
+  plan.add(crash).add(scatter);
+  exp.enable_faults(plan);
+  exp.run();
+
+  std::ostringstream os;
+  os.precision(17);
+  fp(os, exp.summary());
+  os << exp.warehouse().digest() << '|' << exp.warehouse().total_stored()
+     << '\n';
+  exp.export_decision_log(os);
+  return os.str();
+}
+
+int run(int argc, char** argv) {
+  const int minutes_arg = argc > 1 ? std::atoi(argv[1]) : 2;
+  const SimTime duration = minutes(std::max(1, minutes_arg));
+
+  print_header("Shard parity gate",
+               "Sharded engine output must be byte-identical to serial "
+               "(shards 1 vs 2 vs 4, wire latency 500us)");
+
+  struct Leg {
+    const char* name;
+    std::string (*fn)(int, SimTime);
+  };
+  const std::vector<Leg> legs = {{"fig10_cart_trace", &cart_leg},
+                                 {"faulted_social_network", &faulted_leg}};
+  const std::vector<int> shard_counts = {1, 2, 4};
+
+  bool ok = true;
+  for (const Leg& leg : legs) {
+    std::string reference;
+    for (int shards : shard_counts) {
+      const std::string got = leg.fn(shards, duration);
+      if (shards == shard_counts.front()) {
+        reference = got;
+        std::cout << leg.name << " shards=" << shards << ": reference ("
+                  << got.size() << " fingerprint bytes)\n";
+        continue;
+      }
+      const bool match = got == reference;
+      std::cout << leg.name << " shards=" << shards << ": "
+                << (match ? "IDENTICAL" : "DIVERGED") << "\n";
+      if (!match) {
+        ok = false;
+        // Locate the first differing line to make the report actionable.
+        std::istringstream a(reference), b(got);
+        std::string la, lb;
+        int line = 1;
+        while (std::getline(a, la) && std::getline(b, lb) && la == lb) ++line;
+        std::cout << "  first divergence at fingerprint line " << line
+                  << ":\n    shards=1: " << la << "\n    shards=" << shards
+                  << ": " << lb << "\n";
+      }
+    }
+  }
+
+  std::cout << (ok ? "\nPASS: all shard counts byte-identical\n"
+                   : "\nFAIL: sharded engine diverged from serial\n");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sora::bench
+
+int main(int argc, char** argv) { return sora::bench::run(argc, argv); }

@@ -11,8 +11,7 @@
 namespace sora {
 
 FirmAutoscaler::FirmAutoscaler(Simulator& sim, Application& app,
-                               const TraceWarehouse& warehouse,
-                               FirmOptions options)
+                               TraceWarehouse& warehouse, FirmOptions options)
     : sim_(sim),
       app_(app),
       warehouse_(warehouse),

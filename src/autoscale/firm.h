@@ -36,8 +36,8 @@ struct FirmOptions {
 
 class FirmAutoscaler : public Autoscaler {
  public:
-  FirmAutoscaler(Simulator& sim, Application& app,
-                 const TraceWarehouse& warehouse, FirmOptions options);
+  FirmAutoscaler(Simulator& sim, Application& app, TraceWarehouse& warehouse,
+                 FirmOptions options);
 
   /// Restrict scaling decisions to this set (empty = any service the
   /// localizer identifies as critical).
@@ -56,7 +56,7 @@ class FirmAutoscaler : public Autoscaler {
 
   Simulator& sim_;
   Application& app_;
-  const TraceWarehouse& warehouse_;
+  TraceWarehouse& warehouse_;
   FirmOptions options_;
   UtilizationTracker util_;
   CriticalServiceLocalizer localizer_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "common/stats.h"
 #include "obs/profiler.h"
 #include "sim/simulator.h"
 #include "svc/application.h"
@@ -53,10 +52,26 @@ LocalizerCrossCheck cross_validate(
   return check;
 }
 
-CriticalServiceLocalizer::CriticalServiceLocalizer(
-    Application& app, const TraceWarehouse& warehouse, LocalizerOptions options)
+CriticalServiceLocalizer::CriticalServiceLocalizer(Application& app,
+                                                   TraceWarehouse& warehouse,
+                                                   LocalizerOptions options)
     : app_(app), warehouse_(warehouse), options_(options) {
+  warehouse_.add_store_listener([this](const Trace& t) {
+    if (t.end >= window_start_) accumulate(t);
+  });
   begin_window();
+}
+
+void CriticalServiceLocalizer::accumulate(const Trace& t) {
+  ++window_traces_;
+  const CriticalPath cp = [&] {
+    SORA_PROFILE_STAGE("trace.critical_path");
+    return extract_critical_path(t);
+  }();
+  for (const CriticalHop& hop : cp.hops) {
+    accum_[hop.service.value()].add(static_cast<double>(hop.processing_time),
+                                    static_cast<double>(cp.total_duration));
+  }
 }
 
 void CriticalServiceLocalizer::begin_window() {
@@ -65,6 +80,14 @@ void CriticalServiceLocalizer::begin_window() {
   for (const auto& svc : app_.services()) {
     busy_snapshot_[svc->id().value()] = svc->cpu_busy_integral();
   }
+  // Restart the streaming state. Traces already in the warehouse whose
+  // completion falls at or after the new window start stay in scope (the
+  // boundary is inclusive, matching the old rescanning behaviour), so fold
+  // them back in; everything later arrives via the store listener.
+  accum_.clear();
+  window_traces_ = 0;
+  warehouse_.for_each_in_window(window_start_, kSimTimeNever,
+                                [this](const Trace& t) { accumulate(t); });
 }
 
 CriticalServiceReport CriticalServiceLocalizer::analyze() {
@@ -95,37 +118,20 @@ CriticalServiceReport CriticalServiceLocalizer::analyze() {
     diag.emplace(svc->id().value(), d);
   }
 
-  // --- Step 2: PCC(PT_si, RT_CP) over the window's traces ---------------------
-  std::map<std::uint64_t, std::vector<double>> pts;  // service -> PT series
-  std::map<std::uint64_t, std::vector<double>> rts;  // service -> RT_CP series
-  std::map<std::uint64_t, double> pt_sums;
-  warehouse_.for_each_in_window(window_start_, now, [&](const Trace& t) {
-    ++report.traces_analyzed;
-    const CriticalPath cp = [&] {
-      SORA_PROFILE_STAGE("trace.critical_path");
-      return extract_critical_path(t);
-    }();
-    for (const CriticalHop& hop : cp.hops) {
-      pts[hop.service.value()].push_back(
-          static_cast<double>(hop.processing_time));
-      rts[hop.service.value()].push_back(
-          static_cast<double>(cp.total_duration));
-      pt_sums[hop.service.value()] +=
-          static_cast<double>(hop.processing_time);
-    }
-  });
-
+  // --- Step 2: PCC(PT_si, RT_CP), streamed since begin_window ------------------
+  // The heavy lifting (critical-path extraction, co-moment accumulation)
+  // already happened at trace-store time; this pass is O(services).
+  report.traces_analyzed = window_traces_;
   double top_pcc = -2.0;
-  for (auto& [sid, series] : pts) {
+  for (const auto& [sid, acc] : accum_) {
     auto it = diag.find(sid);
     if (it == diag.end()) continue;
     ServiceDiagnostics& d = it->second;
-    d.cp_appearances = series.size();
+    d.cp_appearances = static_cast<std::size_t>(acc.n);
     d.mean_pt_ms =
-        series.empty() ? 0.0 : to_msec(static_cast<SimTime>(
-                                   pt_sums[sid] / series.size() * 1.0));
-    if (series.size() < options_.min_cp_appearances) continue;
-    d.pcc = pearson(series, rts[sid]);
+        acc.n == 0 ? 0.0 : to_msec(static_cast<SimTime>(acc.mean_x()));
+    if (acc.n < options_.min_cp_appearances) continue;
+    d.pcc = acc.r();
     if (d.pcc > top_pcc) {
       top_pcc = d.pcc;
       report.by_correlation = ServiceId(sid);

@@ -6,8 +6,16 @@
 //      PT_si against the end-to-end response time of the critical path
 //      RT_CP — the service whose processing time explains the latency
 //      variation is the critical one.
+//
+// Step 2 streams: the localizer registers a store listener on the trace
+// warehouse and folds each trace's critical path into per-service
+// co-moment accumulators as it completes. A control round's analyze() then
+// costs O(services) instead of re-extracting critical paths for every trace
+// in the window — the dominant per-round cost at high trace rates (see
+// bench/micro_model_cost for the sweep).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -43,6 +51,52 @@ struct LocalizerOptions {
   std::size_t min_cp_appearances = 10;
 };
 
+/// Streaming Pearson state: single-pass co-moment accumulation with a
+/// first-sample shift (sums run over x - x0, y - y0), which keeps the
+/// centered sums numerically stable without a second pass — the naive
+/// Σxy - ΣxΣy/n form cancels catastrophically when means dwarf variances,
+/// as they do for microsecond timestamps. r() matches the two-pass
+/// stats::pearson within floating-point tolerance, including its
+/// conventions: fewer than two samples or a constant series yields 0.
+struct CorrelationAccumulator {
+  std::uint64_t n = 0;
+  double kx = 0.0, ky = 0.0;             ///< shifts (first sample)
+  double sx = 0.0, sy = 0.0;             ///< Σ(x-kx), Σ(y-ky)
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;  ///< shifted second moments
+
+  void add(double x, double y) {
+    if (n == 0) {
+      kx = x;
+      ky = y;
+    }
+    const double dx = x - kx;
+    const double dy = y - ky;
+    ++n;
+    sx += dx;
+    sy += dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+    sxy += dx * dy;
+  }
+
+  double mean_x() const {
+    return n == 0 ? 0.0 : kx + sx / static_cast<double>(n);
+  }
+
+  /// Pearson correlation of everything added so far.
+  double r() const {
+    if (n < 2) return 0.0;
+    const double inv_n = 1.0 / static_cast<double>(n);
+    const double cxx = sxx - sx * sx * inv_n;
+    const double cyy = syy - sy * sy * inv_n;
+    const double cxy = sxy - sx * sy * inv_n;
+    if (cxx <= 0.0 || cyy <= 0.0) return 0.0;
+    return cxy / std::sqrt(cxx * cyy);
+  }
+
+  void reset() { *this = CorrelationAccumulator{}; }
+};
+
 /// Pearson ranking implied by a localization report: services ordered by
 /// descending PCC, with the report's combined verdict forced to the front
 /// (the verdict folds in utilization, which raw PCC ordering ignores).
@@ -70,23 +124,36 @@ LocalizerCrossCheck cross_validate(const CriticalServiceReport& report,
 
 class CriticalServiceLocalizer {
  public:
-  CriticalServiceLocalizer(Application& app, const TraceWarehouse& warehouse,
+  /// Registers a store listener on `warehouse`: both must outlive this
+  /// localizer, and the warehouse must not store traces after it dies.
+  CriticalServiceLocalizer(Application& app, TraceWarehouse& warehouse,
                            LocalizerOptions options = {});
 
-  /// Mark the start of a measurement window (snapshots CPU integrals).
+  /// Mark the start of a measurement window (snapshots CPU integrals,
+  /// resets the correlation accumulators, and re-folds any already-stored
+  /// traces whose completion falls at or after the new window start).
   void begin_window();
 
   /// Analyze traces completed in [window start, now] and return the report.
   CriticalServiceReport analyze();
 
  private:
+  /// Fold one completed trace's critical path into the accumulators.
+  void accumulate(const Trace& t);
+
   Application& app_;
-  const TraceWarehouse& warehouse_;
+  TraceWarehouse& warehouse_;
   LocalizerOptions options_;
 
   SimTime window_start_ = 0;
   // per-service busy-integral snapshot at window start
   std::map<std::uint64_t, double> busy_snapshot_;
+  // service -> streaming PCC(PT_si, RT_CP) state for the current window.
+  // Fed by the warehouse store listener (trace-completion context, which in
+  // sharded runs is always shard 0 — entry services live there — so this
+  // state is lane-confined); read by analyze() in control-round context.
+  std::map<std::uint64_t, CorrelationAccumulator> accum_;
+  std::size_t window_traces_ = 0;
 };
 
 }  // namespace sora

@@ -1,10 +1,13 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <set>
 #include <stdexcept>
 
 #include "common/log.h"
+#include "sim/partition.h"
 
 namespace sora {
 
@@ -24,11 +27,37 @@ std::uint64_t resolve_seed(std::uint64_t configured) {
             << configured << ")";
   return static_cast<std::uint64_t>(parsed);
 }
+
+/// Generic non-negative integer env override (SORA_SIM_SHARDS and friends).
+long long resolve_env_int(const char* name, long long configured) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return configured;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || parsed < 0) {
+    SORA_WARN << "experiment: ignoring unparseable " << name << "=\"" << env
+              << '"';
+    return configured;
+  }
+  SORA_INFO << "experiment: " << name << "=" << parsed << " (env override of "
+            << configured << ")";
+  return parsed;
+}
 }  // namespace
 
 Experiment::Experiment(ApplicationConfig app_config, ExperimentConfig config)
     : config_(config), warehouse_(config.warehouse_capacity) {
   config_.seed = resolve_seed(config_.seed);
+  config_.shards =
+      static_cast<int>(resolve_env_int("SORA_SIM_SHARDS", config_.shards));
+  config_.shard_threads = std::max(
+      1, static_cast<int>(
+             resolve_env_int("SORA_SIM_THREADS", config_.shard_threads)));
+  // SORA_NET_LATENCY_US gives zero-latency topologies a cross-service wire
+  // delay without a rebuild — sharding needs one for its lookahead.
+  app_config.network_latency = static_cast<SimTime>(resolve_env_int(
+      "SORA_NET_LATENCY_US",
+      static_cast<long long>(app_config.network_latency)));
   warehouse_.attach(tracer_);
   // Deadline-aware admission needs requests to carry the end-to-end SLA;
   // stamp it as the default deadline unless the topology set its own.
@@ -234,11 +263,92 @@ AdmissionController& Experiment::enable_admission(const std::string& service,
   return *ptr;
 }
 
+void Experiment::configure_sharding() {
+  if (config_.shards <= 0 || sim_.sharding()) return;
+  const ApplicationConfig& app_cfg = app_->config();
+
+  // Build the partition graph from the topology declaration. Node index ==
+  // config index == ServiceId value (the application compiles services in
+  // declaration order); weight = replica count as the load estimate.
+  std::set<std::string> entry_names;
+  for (const auto& [cls, name] : app_cfg.entry_service) {
+    entry_names.insert(name);
+  }
+  std::vector<sim::PartitionNode> nodes;
+  nodes.reserve(app_cfg.services.size());
+  std::vector<sim::PartitionEdge> edges;
+  std::map<std::string, int> index_of;
+  for (const ServiceConfig& svc : app_cfg.services) {
+    sim::PartitionNode n;
+    n.name = svc.name;
+    n.weight = static_cast<double>(std::max(1, svc.initial_replicas));
+    n.entry = entry_names.count(svc.name) > 0;
+    index_of[svc.name] = static_cast<int>(nodes.size());
+    nodes.push_back(std::move(n));
+  }
+  for (const ServiceConfig& svc : app_cfg.services) {
+    std::set<std::string> targets;
+    for (const auto& [cls, behavior] : svc.classes) {
+      for (const CallGroup& group : behavior.call_groups) {
+        for (const std::string& t : group.targets) targets.insert(t);
+      }
+    }
+    for (const std::string& t : targets) {
+      auto it = index_of.find(t);
+      if (it == index_of.end()) continue;  // Application validates these
+      edges.push_back(sim::PartitionEdge{index_of[svc.name], it->second,
+                                         app_cfg.network_latency});
+    }
+  }
+
+  const sim::PartitionResult part =
+      sim::partition_service_graph(nodes, edges, config_.shards);
+  if (!part.ok) {
+    SORA_WARN << "experiment: sharding disabled, serial engine kept: "
+              << part.reason;
+    return;
+  }
+  // No cross-shard edges (single service, or everything landed on one
+  // shard): any positive lookahead is safe since nothing ever crosses.
+  const SimTime lookahead =
+      part.lookahead == sim::PartitionResult::kNoCrossEdges
+          ? std::max<SimTime>(app_cfg.network_latency, 1)
+          : part.lookahead;
+
+  sim_.configure_shards(part.shards, lookahead, config_.shard_threads);
+  for (const auto& svc : app_->services()) {
+    const auto idx = static_cast<std::size_t>(svc->id().value());
+    svc->set_shard(idx < part.assignment.size() ? part.assignment[idx] : 0);
+  }
+  // Completed traces must come out in canonical (interleaving-independent)
+  // form; the open-trace table needs the mutex only when lanes really run
+  // concurrently.
+  tracer_.set_canonical_ids(true);
+  tracer_.set_thread_safe(config_.shard_threads > 1);
+  // Decision records buffer per lane and merge at window barriers.
+  decision_log_.enable_shard_buffers(
+      part.shards + 1, [shards = part.shards] {
+        const int s = Simulator::current_shard();
+        return s >= 0 ? s : shards;
+      });
+  sim_.set_barrier_hook([this] { decision_log_.flush_shard_buffers(); });
+  SORA_INFO << "experiment: sharded engine: " << part.shards
+            << " shard(s), lookahead " << lookahead << "us, "
+            << config_.shard_threads << " worker thread(s)";
+}
+
 void Experiment::start_all() {
   if (started_) return;
   started_ = true;
-  for (auto& gen : open_loops_) gen->start();
-  for (auto& gen : closed_loops_) gen->start();
+  configure_sharding();
+  {
+    // Workload generators drive the entry services, which the partitioner
+    // pins to shard 0; their event chains belong on that lane. (A no-op
+    // for the serial engine: the scope only sets a thread-local tag.)
+    Simulator::ShardScope scope(0);
+    for (auto& gen : open_loops_) gen->start();
+    for (auto& gen : closed_loops_) gen->start();
+  }
   for (auto& fw : frameworks_) fw->start();
   for (auto& sc : scalers_) sc->start();
   if (fault_plan_.has_value()) {

@@ -1,0 +1,81 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sora::sim {
+
+PartitionResult partition_service_graph(const std::vector<PartitionNode>& nodes,
+                                        const std::vector<PartitionEdge>& edges,
+                                        int shards) {
+  PartitionResult result;
+  result.shards = shards;
+  if (shards < 1) {
+    result.reason = "shard count must be >= 1";
+    return result;
+  }
+  for (const PartitionEdge& e : edges) {
+    const int n = static_cast<int>(nodes.size());
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) {
+      result.reason = "edge references a node out of range";
+      return result;
+    }
+  }
+
+  result.assignment.assign(nodes.size(), 0);
+  std::vector<double> load(static_cast<std::size_t>(shards), 0.0);
+
+  // Entry services are pinned to shard 0 with the workload generators.
+  std::vector<int> rest;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].entry || shards == 1) {
+      load[0] += nodes[i].weight;
+    } else {
+      rest.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Greedy longest-processing-time placement: heaviest nodes first onto the
+  // least-loaded shard. Sorting by (weight desc, name asc) makes the result
+  // a pure function of the graph — no pointer or hash order leaks in.
+  std::sort(rest.begin(), rest.end(), [&nodes](int a, int b) {
+    const PartitionNode& na = nodes[static_cast<std::size_t>(a)];
+    const PartitionNode& nb = nodes[static_cast<std::size_t>(b)];
+    if (na.weight != nb.weight) return na.weight > nb.weight;
+    return na.name < nb.name;
+  });
+  for (const int i : rest) {
+    int best = 0;
+    for (int s = 1; s < shards; ++s) {
+      if (load[static_cast<std::size_t>(s)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    result.assignment[static_cast<std::size_t>(i)] = best;
+    load[static_cast<std::size_t>(best)] += nodes[static_cast<std::size_t>(i)].weight;
+  }
+
+  // Lookahead = min latency over edges that actually cross shards. A
+  // zero-latency cross edge means neighbouring shards could affect each
+  // other instantaneously — no conservative window exists — so fail closed.
+  result.lookahead = PartitionResult::kNoCrossEdges;
+  for (const PartitionEdge& e : edges) {
+    const int sa = result.assignment[static_cast<std::size_t>(e.from)];
+    const int sb = result.assignment[static_cast<std::size_t>(e.to)];
+    if (sa == sb) continue;
+    if (e.latency <= 0) {
+      result.assignment.clear();
+      result.reason = "zero-latency cross-shard edge (between '" +
+                      nodes[static_cast<std::size_t>(e.from)].name + "' and '" +
+                      nodes[static_cast<std::size_t>(e.to)].name +
+                      "'); falling back to one shard";
+      return result;
+    }
+    result.lookahead = std::min(result.lookahead, e.latency);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sora::sim

@@ -1,0 +1,60 @@
+// Deterministic service-graph partitioner for the sharded simulator.
+//
+// Maps each service to a shard lane such that (a) the assignment is a pure
+// function of the graph and the shard count — no RNG, no iteration-order
+// dependence — so every rerun and every host produces the same split, and
+// (b) shard loads are balanced within one node weight of optimal (greedy
+// longest-processing-time bound). Entry services are pinned to shard 0,
+// where the workload generators run, so request injection never crosses a
+// shard boundary.
+//
+// The lookahead window for conservative synchronization is the minimum
+// latency over edges that cross shards: any cross-shard message sent at time
+// t arrives no earlier than t + lookahead, which is what lets each shard
+// execute a whole window without peeking at its neighbours. A zero-latency
+// cross-shard edge would collapse the window to nothing, so partitioning
+// fails closed (ok = false) and the caller must fall back to one shard.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace sora::sim {
+
+struct PartitionNode {
+  std::string name;
+  double weight = 1.0;  // relative load estimate (e.g. replica count)
+  bool entry = false;   // entry services are pinned to shard 0
+};
+
+struct PartitionEdge {
+  int from = 0;  // index into the node list
+  int to = 0;
+  SimTime latency = 0;  // one-way delivery latency of this edge
+};
+
+struct PartitionResult {
+  bool ok = false;
+  std::string reason;
+  int shards = 1;
+  /// assignment[i] is the shard of node i; empty when !ok.
+  std::vector<int> assignment;
+  /// Minimum latency over cross-shard edges; kNoCrossEdges when the split
+  /// produced none (every edge is internal), in which case any positive
+  /// lookahead is safe.
+  SimTime lookahead = 0;
+
+  static constexpr SimTime kNoCrossEdges = kSimTimeNever;
+};
+
+/// Deterministically assign `nodes` to `shards` lanes. Entry nodes go to
+/// shard 0; the rest are placed greedily by descending (weight, name) onto
+/// the least-loaded shard (ties to the lowest index). Fails closed when a
+/// cross-shard edge has latency <= 0.
+PartitionResult partition_service_graph(const std::vector<PartitionNode>& nodes,
+                                        const std::vector<PartitionEdge>& edges,
+                                        int shards);
+
+}  // namespace sora::sim

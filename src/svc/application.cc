@@ -35,6 +35,16 @@ Application::Application(Simulator& sim, Tracer& tracer,
 
   for (auto& svc : services_) svc->compile_and_start();
 
+  // Pre-register counters that hot paths bump at runtime, so those bumps are
+  // pure map finds — in sharded runs, concurrent lanes may look these up
+  // while the registry must not be mutated off-barrier.
+  for (const auto& svc : services_) {
+    metrics_.counter("fault.visits_dropped", {{"service", svc->name()}});
+  }
+  for (const auto& [cls, entry] : entries_) {
+    metrics_.counter("app.shed", {{"service", entry->name()}});
+  }
+
   // Per-span RPC latency, recorded as spans complete. Handles are resolved
   // once here so the span listener is a vector index + histogram record.
   span_latency_.reserve(services_.size());
@@ -133,6 +143,21 @@ void Application::publish_metrics() {
 void Application::deliver(UniqueFunction fn) {
   if (config_.network_latency <= 0) {
     fn();
+    return;
+  }
+  sim_.schedule_after(config_.network_latency, std::move(fn));
+}
+
+void Application::deliver(Service& sender, int dst_shard, UniqueFunction fn) {
+  if (config_.network_latency <= 0) {
+    fn();
+    return;
+  }
+  if (sim_.sharding()) {
+    // Sender key 0 is reserved for non-service sends, so service ids shift
+    // by one.
+    sim_.send_cross(dst_shard, sender.id().value() + 1, sender.bump_send_seq(),
+                    config_.network_latency, std::move(fn));
     return;
   }
   sim_.schedule_after(config_.network_latency, std::move(fn));

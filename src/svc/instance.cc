@@ -185,13 +185,17 @@ void ServiceInstance::issue_call(Visit* v, std::size_t group_index,
   // after all peer calls have finished.
   auto launch = [this, v, child, gate, target, group_index, child_slot] {
     Application& app2 = svc_.app();
-    app2.deliver([this, v, child, gate, target, group_index, child_slot] {
+    // Request hop: caller's shard -> target's shard.
+    app2.deliver(svc_, target->shard(),
+                 [this, v, child, gate, target, group_index, child_slot] {
       target->dispatch(
           v->trace, child,
           RequestMeta{v->request_class, v->priority, v->deadline},
-          [this, v, gate, group_index, child_slot] {
+          [this, v, gate, target, group_index, child_slot] {
             Application& app3 = svc_.app();
-            app3.deliver([this, v, gate, group_index, child_slot] {
+            // Response hop: runs on the target's shard, back to the caller.
+            app3.deliver(*target, svc_.shard(),
+                         [this, v, gate, group_index, child_slot] {
               if (gate != nullptr) gate->release();
               Tracer& t = svc_.app().tracer();
               Span& p = t.span(v->trace, v->span);

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/ids.h"
@@ -77,13 +78,18 @@ struct Span {
 };
 
 /// A completed request trace: the root span plus all descendants.
-/// Spans are stored in creation order; spans[0] is the root.
+/// Spans are stored in creation order; spans[0] is the root. (In sharded
+/// runs the tracer rewrites completed traces into canonical DFS order with
+/// per-trace span ids — see Tracer::set_canonical_ids — so creation-order
+/// differences between shard interleavings never escape.) A deque rather
+/// than a vector: appending a span must not invalidate references to spans
+/// already held by concurrently executing shard lanes.
 struct Trace {
   TraceId id;
   int request_class = 0;
   SimTime start = 0;
   SimTime end = 0;
-  std::vector<Span> spans;
+  std::deque<Span> spans;
 
   SimTime response_time() const { return end - start; }
   const Span& root() const { return spans.front(); }

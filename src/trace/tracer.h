@@ -6,9 +6,20 @@
 // span closes, the assembled Trace is handed to the TraceWarehouse and to
 // any registered listeners (e.g. the Concurrency Estimator and metric
 // samplers).
+//
+// Sharded runs flip two opt-in switches. set_thread_safe(true) guards the
+// open-trace table with a mutex, since spans of one trace open and close on
+// different shard lanes (listeners still run outside the lock — each
+// listener's state is confined to one lane by construction). And
+// set_canonical_ids(true) rewrites every completed trace into canonical
+// form — spans in depth-first call order, renumbered 1..N within the trace —
+// because raw span ids and creation order depend on how lanes interleave,
+// which would differ between shard counts even though the trace tree itself
+// is identical.
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +58,8 @@ class Tracer {
 
   /// Mutable access to an open span (to stamp admitted/downstream_wait and
   /// append child calls). Must not be called after the span is finished.
+  /// The returned reference stays valid while the trace is open (spans live
+  /// in a deque), but the lookup itself synchronizes in thread-safe mode.
   Span& span(TraceId trace, SpanId id);
 
   /// Close a span. When the root span closes, the trace is assembled,
@@ -76,6 +89,17 @@ class Tracer {
     for (const auto& listener : span_listeners_) listener(s);
   }
 
+  /// Guard the open-trace table with a mutex (sharded runs with worker
+  /// threads; harmless but unnecessary otherwise). Listener callbacks run
+  /// outside the lock.
+  void set_thread_safe(bool on) { thread_safe_ = on; }
+  /// Rewrite completed traces into canonical DFS span order with per-trace
+  /// span ids 1..N before the finalizer and listeners see them. Required
+  /// for cross-shard-count byte parity; off by default so unsharded runs
+  /// keep their historical creation-order traces.
+  void set_canonical_ids(bool on) { canonical_ids_ = on; }
+  bool canonical_ids() const { return canonical_ids_; }
+
   /// Number of traces currently in flight (diagnostics / leak checks).
   std::size_t open_traces() const { return open_.size(); }
   std::uint64_t traces_completed() const { return traces_completed_; }
@@ -91,6 +115,29 @@ class Tracer {
   /// a per-trace hash index.
   static Span& find_span(OpenTrace& open, SpanId id);
 
+  /// Reorder `t.spans` into DFS call order and renumber ids 1..N.
+  static void canonicalize(Trace& t);
+
+  class MaybeLock {
+   public:
+    MaybeLock(std::mutex& mu, bool engage) : mu_(mu), engaged_(engage) {
+      if (engaged_) mu_.lock();
+    }
+    ~MaybeLock() { unlock(); }
+    void unlock() {
+      if (engaged_) {
+        mu_.unlock();
+        engaged_ = false;
+      }
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+
+   private:
+    std::mutex& mu_;
+    bool engaged_;
+  };
+
   IdGenerator<TraceId> trace_ids_;
   IdGenerator<SpanId> span_ids_;
   std::unordered_map<std::uint64_t, OpenTrace> open_;
@@ -99,6 +146,9 @@ class Tracer {
   std::vector<TraceListener> trace_listeners_;
   std::vector<SpanListener> span_listeners_;
   std::uint64_t traces_completed_ = 0;
+  bool thread_safe_ = false;
+  bool canonical_ids_ = false;
+  std::mutex mu_;
 };
 
 }  // namespace sora

@@ -21,6 +21,7 @@ void TraceWarehouse::attach(Tracer& tracer, std::uint64_t sample_every_n) {
 void TraceWarehouse::store(Trace trace) {
   traces_.push_back(std::move(trace));
   ++total_stored_;
+  for (const auto& listener : store_listeners_) listener(traces_.back());
   while (traces_.size() > capacity_) {
     traces_.pop_front();
     ++total_evicted_;

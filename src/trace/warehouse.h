@@ -31,6 +31,13 @@ class TraceWarehouse {
   /// Store a completed trace directly (used by tests).
   void store(Trace trace);
 
+  /// Observe every trace as it is stored (after sampling/eviction policy
+  /// admits it). The critical-service localizer streams its correlation
+  /// accumulators from here so control rounds no longer rescan the window.
+  void add_store_listener(std::function<void(const Trace&)> fn) {
+    store_listeners_.push_back(std::move(fn));
+  }
+
   /// Visit traces whose end time falls in [from, to]. Traces are visited
   /// oldest-first.
   void for_each_in_window(SimTime from, SimTime to,
@@ -53,6 +60,7 @@ class TraceWarehouse {
  private:
   std::size_t capacity_;
   std::deque<Trace> traces_;  // ordered by completion time
+  std::vector<std::function<void(const Trace&)>> store_listeners_;
   std::uint64_t total_stored_ = 0;
   std::uint64_t total_evicted_ = 0;
 };

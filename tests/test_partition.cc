@@ -1,0 +1,130 @@
+// Deterministic service-graph partitioner: shard assignment, balance,
+// entry pinning, and the conservative-lookahead derivation (fails closed
+// on zero-latency cross-shard edges).
+#include "sim/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace sora::sim {
+namespace {
+
+PartitionNode node(std::string name, double weight, bool entry = false) {
+  return PartitionNode{std::move(name), weight, entry};
+}
+
+TEST(Partition, EntryServicesPinToShardZero) {
+  const std::vector<PartitionNode> nodes = {
+      node("front", 1.0, /*entry=*/true),
+      node("mid", 5.0),
+      node("leaf", 5.0),
+  };
+  const PartitionResult r = partition_service_graph(nodes, {}, 3);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.assignment[0], 0);
+}
+
+TEST(Partition, DeterministicAcrossCalls) {
+  const std::vector<PartitionNode> nodes = {
+      node("front", 1.0, /*entry=*/true), node("a", 3.0), node("b", 3.0),
+      node("c", 2.0),                     node("d", 7.0),
+  };
+  const std::vector<PartitionEdge> edges = {
+      {0, 1, 100}, {0, 2, 100}, {1, 3, 100}, {2, 4, 100}};
+  const PartitionResult first = partition_service_graph(nodes, edges, 3);
+  const PartitionResult second = partition_service_graph(nodes, edges, 3);
+  ASSERT_TRUE(first.ok);
+  EXPECT_EQ(first.assignment, second.assignment);
+  EXPECT_EQ(first.lookahead, second.lookahead);
+}
+
+TEST(Partition, EqualWeightsTieBreakByName) {
+  // Two permutation-identical graphs must place the same-named node on the
+  // same shard: assignment keys on (weight desc, name asc), never on index.
+  const std::vector<PartitionNode> ab = {node("e", 1.0, true), node("a", 2.0),
+                                         node("b", 2.0)};
+  const std::vector<PartitionNode> ba = {node("e", 1.0, true), node("b", 2.0),
+                                         node("a", 2.0)};
+  const PartitionResult r1 = partition_service_graph(ab, {}, 2);
+  const PartitionResult r2 = partition_service_graph(ba, {}, 2);
+  ASSERT_TRUE(r1.ok);
+  ASSERT_TRUE(r2.ok);
+  EXPECT_EQ(r1.assignment[1], r2.assignment[2]);  // "a" in both graphs
+  EXPECT_EQ(r1.assignment[2], r2.assignment[1]);  // "b" in both graphs
+}
+
+TEST(Partition, GreedyPlacementBalancesWeight) {
+  const std::vector<PartitionNode> nodes = {
+      node("front", 1.0, /*entry=*/true), node("heavy", 8.0),
+      node("big", 7.0),                   node("small", 2.0),
+      node("tiny", 1.0),
+  };
+  const PartitionResult r = partition_service_graph(nodes, {}, 2);
+  ASSERT_TRUE(r.ok);
+  double load[2] = {0.0, 0.0};
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    ASSERT_GE(r.assignment[i], 0);
+    ASSERT_LT(r.assignment[i], 2);
+    load[r.assignment[i]] += nodes[i].weight;
+  }
+  // Total weight 19; LPT keeps the split within the heaviest item.
+  EXPECT_LE(std::abs(load[0] - load[1]), 8.0);
+  EXPECT_GT(load[0], 0.0);
+  EXPECT_GT(load[1], 0.0);
+}
+
+TEST(Partition, LookaheadIsMinimumCrossShardEdgeLatency) {
+  const std::vector<PartitionNode> nodes = {
+      node("front", 1.0, /*entry=*/true), node("mid", 2.0), node("leaf", 1.0)};
+  // mid lands on shard 1 (heaviest non-entry), leaf back on shard 0.
+  const std::vector<PartitionEdge> edges = {{0, 1, 300}, {1, 2, 150}};
+  const PartitionResult r = partition_service_graph(nodes, edges, 2);
+  ASSERT_TRUE(r.ok) << r.reason;
+  ASSERT_EQ(r.assignment[0], 0);
+  ASSERT_EQ(r.assignment[1], 1);
+  ASSERT_EQ(r.assignment[2], 0);
+  EXPECT_EQ(r.lookahead, 150);
+}
+
+TEST(Partition, ZeroLatencyCrossShardEdgeFailsClosed) {
+  const std::vector<PartitionNode> nodes = {
+      node("front", 1.0, /*entry=*/true), node("mid", 2.0)};
+  const std::vector<PartitionEdge> edges = {{0, 1, 0}};
+  const PartitionResult r = partition_service_graph(nodes, edges, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_NE(r.reason.find("zero-latency"), std::string::npos) << r.reason;
+}
+
+TEST(Partition, ZeroLatencyEdgeWithinOneShardIsFine) {
+  // Both endpoints are entries, pinned to shard 0 together: a zero-latency
+  // edge that never crosses shards constrains no window.
+  const std::vector<PartitionNode> nodes = {node("a", 1.0, /*entry=*/true),
+                                            node("b", 1.0, /*entry=*/true)};
+  const std::vector<PartitionEdge> edges = {{0, 1, 0}};
+  const PartitionResult r = partition_service_graph(nodes, edges, 2);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.lookahead, PartitionResult::kNoCrossEdges);
+}
+
+TEST(Partition, SingleShardHasNoCrossEdges) {
+  const std::vector<PartitionNode> nodes = {
+      node("front", 1.0, /*entry=*/true), node("mid", 2.0)};
+  const std::vector<PartitionEdge> edges = {{0, 1, 0}};  // zero ok: same shard
+  const PartitionResult r = partition_service_graph(nodes, edges, 1);
+  ASSERT_TRUE(r.ok) << r.reason;
+  EXPECT_EQ(r.assignment, (std::vector<int>{0, 0}));
+  EXPECT_EQ(r.lookahead, PartitionResult::kNoCrossEdges);
+}
+
+TEST(Partition, RejectsBadInputs) {
+  const std::vector<PartitionNode> nodes = {node("a", 1.0, /*entry=*/true)};
+  EXPECT_FALSE(partition_service_graph(nodes, {}, 0).ok);
+  EXPECT_FALSE(partition_service_graph(nodes, {{0, 3, 100}}, 2).ok);
+  EXPECT_FALSE(partition_service_graph(nodes, {{-1, 0, 100}}, 2).ok);
+}
+
+}  // namespace
+}  // namespace sora::sim

@@ -297,5 +297,45 @@ TEST(Simulator, PeriodicSlotReuseAcrossGenerations) {
   EXPECT_EQ(second_count, 5);  // ticks at 40, 45, 50, 55, 60
 }
 
+// The stale-entry compactor fires only past the exact 50% boundary:
+// heap >= kCompactMinHeap entries AND stale * 2 > heap size. At a 64-entry
+// heap, 32 cancellations sit exactly at half — no compaction; the 33rd
+// crosses the boundary and sweeps every stale entry in one pass.
+TEST(Simulator, HeapCompactionAtExactHalfStaleBoundary) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(sim.schedule_at(1000 + i, [] {}));
+  }
+  ASSERT_EQ(sim.heap_entries(), 64u);  // == kCompactMinHeap
+  for (int i = 0; i < 32; ++i) handles[static_cast<std::size_t>(i)].cancel();
+  // 32 stale of 64 is exactly half, not "more than half": stale entries stay.
+  EXPECT_EQ(sim.heap_entries(), 64u);
+  EXPECT_EQ(sim.events_pending(), 32u);
+  handles[32].cancel();
+  // 33 of 64 crosses the boundary: only the 31 live entries survive.
+  EXPECT_EQ(sim.heap_entries(), 31u);
+  EXPECT_EQ(sim.events_pending(), 31u);
+  EXPECT_EQ(sim.events_cancelled(), 33u);
+  sim.run_all();
+  EXPECT_EQ(sim.events_executed(), 31u);
+}
+
+// Below kCompactMinHeap a stale majority never triggers compaction — the
+// pass would cost more than popping the stale entries at run time.
+TEST(Simulator, NoCompactionBelowMinHeapSize) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 63; ++i) {
+    handles.push_back(sim.schedule_at(1000 + i, [] { FAIL(); }));
+  }
+  for (EventHandle& h : handles) h.cancel();
+  EXPECT_EQ(sim.heap_entries(), 63u);  // all stale, all still queued
+  EXPECT_EQ(sim.events_pending(), 0u);
+  sim.run_all();
+  EXPECT_EQ(sim.heap_entries(), 0u);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
 }  // namespace
 }  // namespace sora
