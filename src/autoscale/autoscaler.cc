@@ -8,8 +8,8 @@ namespace sora {
 
 void Autoscaler::notify(const ScaleEvent& ev) {
   history_.push_back(ev);
-  if (metrics_ != nullptr && ev.service != nullptr) {
-    metrics_
+  if (metrics() != nullptr && ev.service != nullptr) {
+    metrics()
         ->counter("scale.events",
                   {{"controller", name()},
                    {"service", ev.service->name()},
@@ -19,13 +19,6 @@ void Autoscaler::notify(const ScaleEvent& ev) {
         .add();
   }
   for (const auto& cb : listeners_) cb(ev);
-}
-
-void Autoscaler::record_decision(obs::ControlDecisionRecord rec) {
-  if (decision_log_ == nullptr) return;
-  rec.controller = name();
-  rec.round = rounds_;
-  decision_log_->append(std::move(rec));
 }
 
 UtilizationTracker::UtilizationTracker(Application& app) : app_(app) {

@@ -6,6 +6,11 @@
 // HPA (horizontal, rule-based), a threshold VPA (vertical), and a
 // FIRM-like fine-grained vertical scaler driven by SLO violations and
 // critical-service localization.
+//
+// Autoscaler is a thin specialization of the shared Controller contract
+// (autoscale/controller.h) that adds the hardware-scaling vocabulary:
+// ScaleEvent history and listeners (the harness wires these to
+// SoraFramework::on_hardware_scaled for proportional re-adaptation).
 #pragma once
 
 #include <cstdint>
@@ -13,10 +18,9 @@
 #include <map>
 #include <vector>
 
+#include "autoscale/controller.h"
 #include "common/ids.h"
 #include "common/time.h"
-#include "obs/decision_log.h"
-#include "obs/metrics.h"
 
 namespace sora {
 
@@ -34,15 +38,11 @@ struct ScaleEvent {
   SimTime at = 0;
 };
 
-class Autoscaler {
+class Autoscaler : public Controller {
  public:
   using ScaleListener = std::function<void(const ScaleEvent&)>;
 
-  virtual ~Autoscaler() = default;
-
-  virtual void start() = 0;
-  virtual void stop() = 0;
-  virtual const char* name() const = 0;
+  Autoscaler(Simulator& sim, SimTime period) : Controller(sim, period) {}
 
   void add_scale_listener(ScaleListener cb) {
     listeners_.push_back(std::move(cb));
@@ -50,58 +50,16 @@ class Autoscaler {
 
   const std::vector<ScaleEvent>& history() const { return history_; }
 
-  /// Attach a control-decision audit log: every control round appends one
-  /// record per managed service — including explicit "hold" verdicts, so
-  /// quiet rounds are distinguishable from missing telemetry. Nullptr
-  /// detaches.
-  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
-  obs::DecisionLog* decision_log() const { return decision_log_; }
-
-  /// Attach a metrics registry: notify() counts scale events into it
-  /// (counter "scale.events", labels controller/service/kind).
-  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
-
-  /// Fault-injection hook: while stalled, implementations skip their
-  /// control logic each tick and append a single "stalled" record instead,
-  /// leaving their utilization/latency windows untouched — the first round
-  /// after the stall ends evaluates evidence spanning the whole outage.
-  void set_stalled(bool stalled) { stalled_ = stalled; }
-  bool stalled() const { return stalled_; }
-
  protected:
   /// Record the event in history, count it into the metrics registry (if
-  /// attached), and invoke the scale listeners. Defined in autoscaler.cc
-  /// (needs the Service definition for its name).
+  /// attached; counter "scale.events", labels controller/service/kind), and
+  /// invoke the scale listeners. Defined in autoscaler.cc (needs the
+  /// Service definition for its name).
   void notify(const ScaleEvent& ev);
-
-  /// Append a per-round decision record (no-op without a log). Fills in
-  /// the controller name and current round number.
-  void record_decision(obs::ControlDecisionRecord rec);
-
-  /// Bump and return the control-round counter; call once per tick.
-  std::uint64_t next_round() { return ++rounds_; }
-
-  /// Shared stall short-circuit: when stalled, append the "stalled" record
-  /// (with `at` stamped by the caller) and return true — the tick must then
-  /// return without running its control logic.
-  bool handle_stall(SimTime now) {
-    if (!stalled_) return false;
-    obs::ControlDecisionRecord rec;
-    rec.at = now;
-    rec.action = "stalled";
-    rec.fault_kind = "control_stall";
-    rec.reason = "control round skipped: control plane stalled";
-    record_decision(std::move(rec));
-    return true;
-  }
 
  private:
   std::vector<ScaleListener> listeners_;
   std::vector<ScaleEvent> history_;
-  obs::DecisionLog* decision_log_ = nullptr;
-  obs::MetricsRegistry* metrics_ = nullptr;
-  std::uint64_t rounds_ = 0;
-  bool stalled_ = false;
 };
 
 /// Snapshot-based CPU utilization tracker shared by the scalers: call

@@ -1,0 +1,184 @@
+// The Controller interface: one contract for every control plane.
+//
+// Sora/ConScale, the hardware autoscalers (FIRM/HPA/VPA) and the new
+// bi-level (Autothrottle) and gradient-descent (LSRAM) baselines all follow
+// the same round structure — observe telemetry gathered since the previous
+// round, decide, and emit a list of applied actions — but each used to
+// hand-roll its own periodic scheduling, stall short-circuit, round
+// counting and decision-log wiring. This base class owns all of that once:
+//
+//   round():  bump round counter
+//             -> stalled?  append one auditable "stalled" record and return
+//             -> observe(now)  (virtual: ingest the telemetry window)
+//             -> decide(now)   (virtual: act; return the ControlAction list)
+//             -> contract enforcement: stamp round/time, guarantee a
+//                non-empty reason on every action, meter, retain history
+//
+// Controllers declare their telemetry needs up front (scatter samples,
+// traces, metrics windows) so harnesses can validate wiring and the
+// conformance suite (tests/test_controller_conformance.cc) can assert the
+// shared contract uniformly: byte-identical reruns per seed, no actions
+// before warm-up, bounded actions per round, graceful stalls and topology
+// changes, and schema-valid decision records for every emitted action.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "obs/decision_log.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace sora {
+
+class Service;
+
+/// Telemetry a controller consumes each round, declared up front. The
+/// harness uses this to validate wiring (e.g. a traces-needing controller
+/// requires a TraceWarehouse) and the conformance suite asserts the
+/// declaration is honest (a controller that declares no needs must still
+/// produce schema-valid rounds when every feed is empty).
+struct ControllerNeeds {
+  bool scatter_samples = false;  ///< per-knob scatter windows (estimator)
+  bool traces = false;           ///< completed traces (warehouse window)
+  bool metrics_window = false;   ///< CPU utilization / metrics snapshots
+};
+
+/// One action a controller's decide phase applied this round, in a
+/// controller-agnostic shape. The detailed evidence lives in the decision
+/// log; the action list is the machine-checkable contract surface (bounded
+/// per round, never before warm-up, always carrying a reason).
+struct ControlAction {
+  enum class Kind {
+    kPoolResize,       ///< soft-resource pool size change (old/new_size)
+    kCores,            ///< vertical CPU limit change (old/new_cores)
+    kReplicas,         ///< horizontal replica change (old/new_replicas)
+    kAdmissionTarget,  ///< published admitted-concurrency cap
+    kLatencyTarget,    ///< assigned per-service latency target
+  };
+  Kind kind = Kind::kPoolResize;
+  SimTime at = 0;           ///< stamped by Controller::round()
+  std::uint64_t round = 0;  ///< stamped by Controller::round()
+  std::string target;       ///< knob label or service name
+  std::string reason;       ///< mandatory; round() fills a default if empty
+  int old_size = 0;
+  int new_size = 0;
+  double old_cores = 0.0;
+  double new_cores = 0.0;
+  int old_replicas = 0;
+  int new_replicas = 0;
+  double admission_target = 0.0;   ///< kAdmissionTarget: published cap
+  double latency_target_ms = 0.0;  ///< kLatencyTarget: assigned target
+};
+
+const char* to_string(ControlAction::Kind kind);
+
+class Controller {
+ public:
+  /// `period` is the control round cadence; start() schedules the first
+  /// round at now() + period.
+  Controller(Simulator& sim, SimTime period);
+  virtual ~Controller() = default;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Controller tag used in decision records and metric labels ("sora",
+  /// "firm", "autothrottle", ...).
+  virtual const char* name() const = 0;
+
+  /// Declared telemetry needs (see ControllerNeeds).
+  virtual ControllerNeeds needs() const = 0;
+
+  /// Contract: the most actions one round may emit (typically a small
+  /// multiple of the managed target count). The conformance suite asserts
+  /// every round stays within it.
+  virtual std::size_t max_actions_per_round() const = 0;
+
+  SimTime period() const { return period_; }
+  Simulator& sim() const { return sim_; }
+
+  /// Schedule the periodic control rounds (idempotent). Calls begin() once
+  /// so implementations can open telemetry windows.
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Run one control round now. Exposed for tests and harness-driven
+  /// stepping; the scheduled periodic calls exactly this.
+  std::vector<ControlAction> round();
+
+  /// Topology changed outside this controller (replica crash/restore, PR-4
+  /// fault hooks). Default: no-op. Implementations discard evidence that
+  /// described the old topology.
+  virtual void on_topology_changed(Service* service, const std::string& why) {
+    (void)service;
+    (void)why;
+  }
+
+  // -- wiring -----------------------------------------------------------------
+
+  /// Attach a control-decision audit log; every round appends at least one
+  /// record through record_decision(), which stamps the controller name and
+  /// round and guarantees a non-empty reason. Nullptr detaches.
+  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
+  obs::DecisionLog* decision_log() const { return decision_log_; }
+
+  /// Attach a metrics registry (round/stall/action counters).
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+
+  /// Fault-injection hook: while stalled, round() skips observe/decide and
+  /// appends a single "stalled" record instead, leaving telemetry windows
+  /// untouched — the first round after the stall ends evaluates evidence
+  /// spanning the whole outage.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+
+  // -- introspection ----------------------------------------------------------
+
+  std::uint64_t rounds() const { return rounds_; }
+  /// Every action ever emitted, in round order (the conformance suite's
+  /// warm-up and bounded-actions checks read this).
+  const std::vector<ControlAction>& actions() const { return actions_; }
+
+ protected:
+  /// Called once from start(), before the first round is scheduled: open
+  /// telemetry windows, snapshot utilization epochs.
+  virtual void begin() {}
+
+  /// Scheduled periodic entry point; defaults to round(). Override only to
+  /// wrap the round (e.g. a profiler scope) — the round structure itself is
+  /// not overridable.
+  virtual void tick() { round(); }
+
+  /// Observe phase: ingest the telemetry gathered since the previous round
+  /// (trace windows, utilization epochs). Not called while stalled.
+  virtual void observe(SimTime now) { (void)now; }
+
+  /// Decide phase: act on the observed evidence and return the actions
+  /// applied this round (empty = hold). Implementations append their
+  /// evidence-rich decision records via record_decision().
+  virtual std::vector<ControlAction> decide(SimTime now) = 0;
+
+  /// Append a decision record: stamps the controller name and current
+  /// round, and — the invariant every controller shares — fills a default
+  /// reason when the implementation produced none, so no record ever
+  /// reaches the log without a rationale.
+  void record_decision(obs::ControlDecisionRecord rec);
+
+ private:
+  Simulator& sim_;
+  SimTime period_;
+  EventHandle tick_;
+  bool running_ = false;
+  bool stalled_ = false;
+  std::uint64_t rounds_ = 0;
+  std::vector<ControlAction> actions_;
+  obs::DecisionLog* decision_log_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace sora

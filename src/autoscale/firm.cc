@@ -12,7 +12,7 @@ namespace sora {
 
 FirmAutoscaler::FirmAutoscaler(Simulator& sim, Application& app,
                                TraceWarehouse& warehouse, FirmOptions options)
-    : sim_(sim),
+    : Autoscaler(sim, options.period),
       app_(app),
       warehouse_(warehouse),
       options_(options),
@@ -31,20 +31,13 @@ bool FirmAutoscaler::allowed(const Service& svc) const {
   return false;
 }
 
-void FirmAutoscaler::start() {
+void FirmAutoscaler::begin() {
   util_.epoch();
   localizer_.begin_window();
-  window_start_ = sim_.now();
-  tick_event_ = sim_.schedule_periodic(options_.period, [this] { tick(); });
+  window_start_ = sim().now();
 }
 
-void FirmAutoscaler::stop() { tick_event_.cancel(); }
-
-void FirmAutoscaler::tick() {
-  next_round();
-  const SimTime now = sim_.now();
-  if (handle_stall(now)) return;
-
+void FirmAutoscaler::observe(SimTime now) {
   // End-to-end p99 over the last window, from the trace warehouse.
   std::vector<double> rts;
   warehouse_.for_each_in_window(window_start_, now, [&](const Trace& t) {
@@ -53,12 +46,17 @@ void FirmAutoscaler::tick() {
   // Empty window (no completed traces) counts as p99 = 0 here: the
   // kNoSample sentinel would poison the SimTime cast below, and "no
   // traffic" should read as relaxed, not unknown.
-  const double p99 = rts.empty() ? 0.0 : percentile(rts, 99.0);
+  observed_p99_ = rts.empty() ? 0.0 : percentile(rts, 99.0);
 
   // Critical-service localization (FIRM step).
   last_report_ = localizer_.analyze();
   localizer_.begin_window();
   window_start_ = now;
+}
+
+std::vector<ControlAction> FirmAutoscaler::decide(SimTime now) {
+  std::vector<ControlAction> actions;
+  const double p99 = observed_p99_;
 
   Service* critical = app_.service(last_report_.critical);
   if (critical == nullptr || !allowed(*critical)) {
@@ -67,7 +65,7 @@ void FirmAutoscaler::tick() {
   }
   if (critical == nullptr) {
     util_.epoch();
-    return;
+    return actions;
   }
 
   const double util = util_.utilization(*critical);
@@ -128,12 +126,21 @@ void FirmAutoscaler::tick() {
     notify(ev);
     rec.action = desired > current ? "scale_up" : "scale_down";
     rec.new_cores = desired;
+    ControlAction act;
+    act.kind = ControlAction::Kind::kCores;
+    act.target = critical->name();
+    act.reason = rec.reason;
+    act.old_cores = current;
+    act.new_cores = desired;
+    act.old_replicas = act.new_replicas = critical->active_replicas();
+    actions.push_back(std::move(act));
     SORA_INFO << "FIRM " << critical->name() << " cores " << current << " -> "
               << desired << " (p99 " << to_msec(static_cast<SimTime>(p99))
               << "ms, util " << util << ")";
   }
   record_decision(std::move(rec));
   util_.epoch();
+  return actions;
 }
 
 }  // namespace sora

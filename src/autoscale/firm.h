@@ -43,18 +43,26 @@ class FirmAutoscaler : public Autoscaler {
   /// localizer identifies as critical).
   void manage(Service* service);
 
-  void start() override;
-  void stop() override;
   const char* name() const override { return "firm"; }
+  ControllerNeeds needs() const override {
+    ControllerNeeds n;
+    n.traces = true;
+    n.metrics_window = true;
+    return n;
+  }
+  std::size_t max_actions_per_round() const override { return 1; }
 
   /// Most recent localization verdict (diagnostics).
   const CriticalServiceReport& last_report() const { return last_report_; }
 
+ protected:
+  void begin() override;
+  void observe(SimTime now) override;
+  std::vector<ControlAction> decide(SimTime now) override;
+
  private:
-  void tick();
   bool allowed(const Service& svc) const;
 
-  Simulator& sim_;
   Application& app_;
   TraceWarehouse& warehouse_;
   FirmOptions options_;
@@ -63,8 +71,8 @@ class FirmAutoscaler : public Autoscaler {
   std::vector<Service*> allowed_services_;
   CriticalServiceReport last_report_;
   SimTime window_start_ = 0;
+  double observed_p99_ = 0.0;  ///< end-to-end p99 of the last window
   int low_periods_ = 0;
-  EventHandle tick_event_;
 };
 
 }  // namespace sora

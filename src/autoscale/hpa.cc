@@ -12,22 +12,17 @@ namespace sora {
 HorizontalPodAutoscaler::HorizontalPodAutoscaler(Simulator& sim,
                                                  Application& app,
                                                  HpaOptions options)
-    : sim_(sim), app_(app), options_(options), util_(app) {}
+    : Autoscaler(sim, options.period),
+      app_(app),
+      options_(options),
+      util_(app) {}
 
 void HorizontalPodAutoscaler::manage(Service* service) {
   managed_.push_back(Managed{service, 0, 0});
 }
 
-void HorizontalPodAutoscaler::start() {
-  util_.epoch();
-  tick_event_ = sim_.schedule_periodic(options_.period, [this] { tick(); });
-}
-
-void HorizontalPodAutoscaler::stop() { tick_event_.cancel(); }
-
-void HorizontalPodAutoscaler::tick() {
-  next_round();
-  if (handle_stall(sim_.now())) return;
+std::vector<ControlAction> HorizontalPodAutoscaler::decide(SimTime now) {
+  std::vector<ControlAction> actions;
   for (Managed& m : managed_) {
     Service& svc = *m.service;
     const double util = util_.utilization(svc);
@@ -41,7 +36,7 @@ void HorizontalPodAutoscaler::tick() {
     desired = std::clamp(desired, options_.min_replicas, options_.max_replicas);
 
     obs::ControlDecisionRecord rec;
-    rec.at = sim_.now();
+    rec.at = now;
     rec.target = svc.name();
     rec.observed_utilization = util;
     rec.old_replicas = current;
@@ -57,11 +52,19 @@ void HorizontalPodAutoscaler::tick() {
       ev.old_replicas = current;
       ev.new_replicas = desired;
       ev.old_cores = ev.new_cores = svc.cpu_limit();
-      ev.at = sim_.now();
+      ev.at = now;
       notify(ev);
       rec.action = "scale_out";
       rec.reason = "utilization above target";
       rec.new_replicas = desired;
+      ControlAction act;
+      act.kind = ControlAction::Kind::kReplicas;
+      act.target = svc.name();
+      act.reason = rec.reason;
+      act.old_replicas = current;
+      act.new_replicas = desired;
+      act.old_cores = act.new_cores = svc.cpu_limit();
+      actions.push_back(std::move(act));
       SORA_INFO << "HPA scale-out " << svc.name() << " " << current << " -> "
                 << desired << " (util " << util << ")";
     } else if (desired < current) {
@@ -77,11 +80,19 @@ void HorizontalPodAutoscaler::tick() {
         ev.old_replicas = current;
         ev.new_replicas = target;
         ev.old_cores = ev.new_cores = svc.cpu_limit();
-        ev.at = sim_.now();
+        ev.at = now;
         notify(ev);
         rec.action = "scale_in";
         rec.reason = "stabilized low desired replica count";
         rec.new_replicas = target;
+        ControlAction act;
+        act.kind = ControlAction::Kind::kReplicas;
+        act.target = svc.name();
+        act.reason = rec.reason;
+        act.old_replicas = current;
+        act.new_replicas = target;
+        act.old_cores = act.new_cores = svc.cpu_limit();
+        actions.push_back(std::move(act));
         SORA_INFO << "HPA scale-in " << svc.name() << " " << current << " -> "
                   << target << " (util " << util << ")";
         m.low_periods = 0;
@@ -99,6 +110,7 @@ void HorizontalPodAutoscaler::tick() {
     record_decision(std::move(rec));
   }
   util_.epoch();
+  return actions;
 }
 
 }  // namespace sora

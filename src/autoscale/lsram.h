@@ -1,0 +1,116 @@
+// LSRAM-style lightweight gradient-descent SLO allocation.
+//
+// LSRAM (see PAPERS.md) treats resource allocation as online optimization:
+// each round it evaluates an SLO-violation + cost objective at the current
+// allocation and takes one clamped gradient step, warm-started from the
+// previous round's evaluation instead of re-exploring. Here the allocation
+// axis is a soft-resource pool (a ResourceKnob: entry thread pool or edge
+// connection pool), the objective is
+//
+//   J(x) = violation_weight * viol_frac(x) + cost_weight * x / max_size
+//
+// with viol_frac measured from completed spans of the knob's completion
+// service over the last window, and the gradient is a finite difference
+// against the previous round's (allocation, objective) pair.
+//
+// GradientStepper holds the per-knob optimization state and is exposed
+// directly so the step clamping / convergence behavior is unit-testable on
+// synthetic surfaces without a simulator (tests/test_lsram.cc).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "autoscale/controller.h"
+#include "metrics/knob.h"
+#include "sim/simulator.h"
+#include "trace/warehouse.h"
+
+namespace sora {
+
+class Application;
+
+struct GradientStepperOptions {
+  double learning_rate = 8.0;
+  double max_step = 4.0;   ///< per-round step clamp (both directions)
+  double probe_step = 1.0; ///< first move / restart when the surface is flat
+  double min_x = 1.0;
+  double max_x = 512.0;
+  /// |gradient| below this reads as a flat surface: hold instead of drifting
+  /// on noise.
+  double flat_gradient = 1e-6;
+};
+
+/// One-dimensional warm-started gradient descent with clamped steps.
+/// step(x, j) consumes this round's evaluation of the objective at x and
+/// returns the next allocation to try. The first call (nothing to difference
+/// against yet) probes by +probe_step; a zero-length move or a flat gradient
+/// holds.
+class GradientStepper {
+ public:
+  explicit GradientStepper(GradientStepperOptions options = {})
+      : options_(options) {}
+
+  double step(double x, double j);
+
+  /// Forget the warm start (topology changed: the old surface is gone).
+  void reset() { has_prev_ = false; }
+  bool warm() const { return has_prev_; }
+
+ private:
+  GradientStepperOptions options_;
+  bool has_prev_ = false;
+  double prev_x_ = 0.0;
+  double prev_j_ = 0.0;
+};
+
+struct LsramOptions {
+  SimTime period = sec(15);
+  /// Per-span latency objective for the knob's completion service: spans
+  /// slower than this count as violations.
+  SimTime span_slo = msec(100);
+  double violation_weight = 1.0;
+  double cost_weight = 0.05;
+  /// Hold (fail closed) when the window has fewer spans than this.
+  std::size_t min_spans = 20;
+  GradientStepperOptions stepper;
+};
+
+class LsramController : public Controller {
+ public:
+  LsramController(Application& app, TraceWarehouse& warehouse,
+                  LsramOptions options = {});
+
+  /// Put a soft-resource pool under gradient control.
+  void manage(const ResourceKnob& knob);
+
+  const char* name() const override { return "lsram"; }
+  ControllerNeeds needs() const override {
+    ControllerNeeds n;
+    n.traces = true;
+    return n;
+  }
+  std::size_t max_actions_per_round() const override { return knobs_.size(); }
+
+  void on_topology_changed(Service* service, const std::string& why) override;
+
+ protected:
+  void begin() override { window_start_ = sim().now(); }
+  void observe(SimTime now) override;
+  std::vector<ControlAction> decide(SimTime now) override;
+
+ private:
+  Application& app_;
+  TraceWarehouse& warehouse_;
+  LsramOptions options_;
+
+  std::vector<ResourceKnob> knobs_;
+  std::vector<GradientStepper> steppers_;  ///< parallel to knobs_
+
+  // Window evidence gathered by observe(), parallel to knobs_.
+  SimTime window_start_ = 0;
+  std::vector<std::size_t> span_counts_;
+  std::vector<std::size_t> violations_;
+};
+
+}  // namespace sora

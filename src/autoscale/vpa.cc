@@ -10,22 +10,17 @@ namespace sora {
 
 VerticalPodAutoscaler::VerticalPodAutoscaler(Simulator& sim, Application& app,
                                              VpaOptions options)
-    : sim_(sim), app_(app), options_(options), util_(app) {}
+    : Autoscaler(sim, options.period),
+      app_(app),
+      options_(options),
+      util_(app) {}
 
 void VerticalPodAutoscaler::manage(Service* service) {
   managed_.push_back(Managed{service, 0});
 }
 
-void VerticalPodAutoscaler::start() {
-  util_.epoch();
-  tick_event_ = sim_.schedule_periodic(options_.period, [this] { tick(); });
-}
-
-void VerticalPodAutoscaler::stop() { tick_event_.cancel(); }
-
-void VerticalPodAutoscaler::tick() {
-  next_round();
-  if (handle_stall(sim_.now())) return;
+std::vector<ControlAction> VerticalPodAutoscaler::decide(SimTime now) {
+  std::vector<ControlAction> actions;
   for (Managed& m : managed_) {
     Service& svc = *m.service;
     const double util = util_.utilization(svc);
@@ -33,7 +28,7 @@ void VerticalPodAutoscaler::tick() {
     double desired = current;
 
     obs::ControlDecisionRecord rec;
-    rec.at = sim_.now();
+    rec.at = now;
     rec.target = svc.name();
     rec.observed_utilization = util;
     rec.old_replicas = rec.new_replicas = svc.active_replicas();
@@ -68,16 +63,25 @@ void VerticalPodAutoscaler::tick() {
       ev.old_replicas = ev.new_replicas = svc.active_replicas();
       ev.old_cores = current;
       ev.new_cores = desired;
-      ev.at = sim_.now();
+      ev.at = now;
       notify(ev);
       rec.action = desired > current ? "scale_up" : "scale_down";
       rec.new_cores = desired;
+      ControlAction act;
+      act.kind = ControlAction::Kind::kCores;
+      act.target = svc.name();
+      act.reason = rec.reason;
+      act.old_cores = current;
+      act.new_cores = desired;
+      act.old_replicas = act.new_replicas = svc.active_replicas();
+      actions.push_back(std::move(act));
       SORA_INFO << "VPA " << svc.name() << " cores " << current << " -> "
                 << desired << " (util " << util << ")";
     }
     record_decision(std::move(rec));
   }
   util_.epoch();
+  return actions;
 }
 
 }  // namespace sora

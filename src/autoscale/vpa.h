@@ -30,24 +30,30 @@ class VerticalPodAutoscaler : public Autoscaler {
 
   void manage(Service* service);
 
-  void start() override;
-  void stop() override;
   const char* name() const override { return "k8s-vpa"; }
+  ControllerNeeds needs() const override {
+    ControllerNeeds n;
+    n.metrics_window = true;
+    return n;
+  }
+  std::size_t max_actions_per_round() const override {
+    return managed_.size();
+  }
+
+ protected:
+  void begin() override { util_.epoch(); }
+  std::vector<ControlAction> decide(SimTime now) override;
 
  private:
-  void tick();
-
   struct Managed {
     Service* service;
     int low_periods = 0;
   };
 
-  Simulator& sim_;
   Application& app_;
   VpaOptions options_;
   UtilizationTracker util_;
   std::vector<Managed> managed_;
-  EventHandle tick_event_;
 };
 
 }  // namespace sora

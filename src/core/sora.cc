@@ -19,7 +19,8 @@ SoraFrameworkOptions make_conscale_options() {
 
 SoraFramework::SoraFramework(Application& app, TraceWarehouse& warehouse,
                              SoraFrameworkOptions options)
-    : app_(app),
+    : Controller(app.sim(), options.control_period),
+      app_(app),
       warehouse_(warehouse),
       options_(options),
       estimator_(app.sim(), app.tracer(),
@@ -29,7 +30,9 @@ SoraFramework::SoraFramework(Application& app, TraceWarehouse& warehouse,
                    return e;
                  }()),
       adapter_(options.adapter),
-      localizer_(app, warehouse, options.localizer) {}
+      localizer_(app, warehouse, options.localizer) {
+  set_metrics(&app.metrics());
+}
 
 void SoraFramework::manage(const ResourceKnob& knob) {
   for (const ResourceKnob& existing : knobs_) {
@@ -39,20 +42,9 @@ void SoraFramework::manage(const ResourceKnob& knob) {
   estimator_.watch(knob);
 }
 
-void SoraFramework::start() {
-  if (running_) return;
-  running_ = true;
-  localizer_.begin_window();
-  tick_ = app_.sim().schedule_periodic(options_.control_period,
-                                       [this] { control_round(); });
-}
+void SoraFramework::begin() { localizer_.begin_window(); }
 
-void SoraFramework::stop() {
-  running_ = false;
-  tick_.cancel();
-}
-
-const char* SoraFramework::controller_name() const {
+const char* SoraFramework::name() const {
   return options_.model == ModelKind::kScatterConcurrencyGoodput ? "sora"
                                                                  : "conscale";
 }
@@ -80,78 +72,58 @@ std::vector<SoraFramework::KnobKnee> SoraFramework::current_knees() const {
 
 void SoraFramework::control_round() {
   SORA_PROFILE_STAGE("sora.control_round");
-  ++control_rounds_;
-  const SimTime now = app_.sim().now();
-  const char* controller = controller_name();
-  obs::MetricsRegistry& metrics = app_.metrics();
+  round();
+}
 
-  if (stalled_) {
-    // The control plane is down (fault injection): no localization, no
-    // estimation, no adaptation — but the skipped round must still leave an
-    // auditable record, so a gap in decisions is never ambiguous between
-    // "controller chose nothing" and "controller never ran".
-    metrics.counter("control.rounds_stalled", {{"controller", controller}})
-        .add();
-    if (decision_log_ != nullptr) {
-      obs::ControlDecisionRecord rec;
-      rec.at = now;
-      rec.controller = controller;
-      rec.round = control_rounds_;
-      rec.action = "stalled";
-      rec.fault_kind = "control_stall";
-      rec.reason = "control round skipped: control plane stalled";
-      decision_log_->append(std::move(rec));
-    }
-    return;
-  }
-
+void SoraFramework::observe(SimTime now) {
+  (void)now;
   // Critical Service Localization Phase.
   last_report_ = localizer_.analyze();
   localizer_.begin_window();
 
-  metrics.counter("control.rounds", {{"controller", controller}}).add();
-
   // Resolve the localization verdict once; every knob's record shares it.
-  std::string critical_name;
-  double critical_util = 0.0;
-  double critical_pcc = 0.0;
+  critical_name_.clear();
+  critical_util_ = 0.0;
+  critical_pcc_ = 0.0;
   if (last_report_.critical.valid()) {
     for (const auto& svc : app_.services()) {
       if (svc->id() == last_report_.critical) {
-        critical_name = svc->name();
+        critical_name_ = svc->name();
         break;
       }
     }
     for (const ServiceDiagnostics& d : last_report_.services) {
       if (d.service == last_report_.critical) {
-        critical_util = d.utilization;
-        critical_pcc = d.pcc;
+        critical_util_ = d.utilization;
+        critical_pcc_ = d.pcc;
         break;
       }
     }
   }
+}
+
+std::vector<ControlAction> SoraFramework::decide(SimTime now) {
+  std::vector<ControlAction> actions;
+  obs::MetricsRegistry& metrics = app_.metrics();
+  obs::DecisionLog* log = decision_log();
 
   for (const ResourceKnob& knob : knobs_) {
     obs::ControlDecisionRecord rec;
     rec.at = now;
-    rec.controller = controller;
-    rec.round = control_rounds_;
     rec.target = knob.label();
-    rec.critical_service = critical_name;
-    rec.critical_utilization = critical_util;
-    rec.critical_pcc = critical_pcc;
+    rec.critical_service = critical_name_;
+    rec.critical_utilization = critical_util_;
+    rec.critical_pcc = critical_pcc_;
     rec.traces_analyzed = last_report_.traces_analyzed;
 
     const ServiceId knob_service = knob.completion_service();
     if (options_.adapt_only_critical && last_report_.critical.valid() &&
         knob_service != last_report_.critical &&
         knob.service()->id() != last_report_.critical) {
-      if (decision_log_ != nullptr) {
-        rec.action = "skipped";
-        rec.reason = "knob not associated with the critical service";
-        rec.old_size = rec.new_size = knob.current_size();
-        decision_log_->append(std::move(rec));
-      }
+      rec.action = "skipped";
+      rec.reason = "knob not associated with the critical service";
+      rec.old_size = rec.new_size = knob.current_size();
+      record_decision(std::move(rec));
       continue;
     }
 
@@ -173,7 +145,7 @@ void SoraFramework::control_round() {
     const ConcurrencyEstimate est = estimator_.estimate(knob);
     if (est.valid) {
       last_valid_estimate_[knob.label()] = now;
-      last_good_[knob.label()] = LastGoodEstimate{est, now, control_rounds_};
+      last_good_[knob.label()] = LastGoodEstimate{est, now, rounds()};
       // Publish the knee to the knob service's admission controller (if
       // one is installed): knee-coupled admission caps admitted concurrency
       // at the knee the SCG model just fitted. knee_concurrency is already
@@ -182,6 +154,12 @@ void SoraFramework::control_round() {
                                          : knob.service();
       if (knee_svc != nullptr && knee_svc->admission() != nullptr) {
         knee_svc->admission()->set_knee(est.knee_concurrency, now);
+        ControlAction pub;
+        pub.kind = ControlAction::Kind::kAdmissionTarget;
+        pub.target = knee_svc->name();
+        pub.admission_target = est.knee_concurrency;
+        pub.reason = "published fitted knee to admission controller";
+        actions.push_back(std::move(pub));
       }
     }
     const double good_fraction = estimator_.good_fraction(knob);
@@ -192,6 +170,13 @@ void SoraFramework::control_round() {
       // Samples gathered under the old allocation describe a different
       // system; restart the scatter for the new one.
       estimator_.clear(knob);
+      ControlAction act;
+      act.kind = ControlAction::Kind::kPoolResize;
+      act.target = knob.label();
+      act.reason = action.reason;
+      act.old_size = action.old_size;
+      act.new_size = action.new_size;
+      actions.push_back(std::move(act));
     }
 
     const obs::MetricLabels knob_labels{{"knob", knob.label()}};
@@ -214,11 +199,11 @@ void SoraFramework::control_round() {
                  ? -1.0
                  : static_cast<double>(now - age_it->second));
     metrics
-        .counter("sora.actions", {{"controller", controller},
+        .counter("sora.actions", {{"controller", name()},
                                   {"action", to_string(action.type)}})
         .add();
 
-    if (decision_log_ != nullptr) {
+    if (log != nullptr) {
       rec.estimate_valid = est.valid;
       rec.scatter_points = est.points_used;
       rec.recommended = est.recommended;
@@ -245,24 +230,22 @@ void SoraFramework::control_round() {
           rec.reason += "; no known-good knee yet, holding configured size";
         }
       }
-      if (rec.reason.empty()) rec.reason = "no rationale produced";
       rec.old_size = action.old_size;
       rec.new_size = action.new_size;
-      decision_log_->append(std::move(rec));
+      record_decision(std::move(rec));
     }
   }
 
-  if (decision_log_ != nullptr && knobs_.empty()) {
+  if (knobs_.empty()) {
     // A round with nothing to manage must still be distinguishable from a
     // round that never ran.
     obs::ControlDecisionRecord rec;
     rec.at = now;
-    rec.controller = controller;
-    rec.round = control_rounds_;
     rec.action = "round";
     rec.reason = "control round completed with no managed knobs";
-    decision_log_->append(std::move(rec));
+    record_decision(std::move(rec));
   }
+  return actions;
 }
 
 void SoraFramework::on_topology_changed(Service* service,
@@ -278,17 +261,13 @@ void SoraFramework::on_topology_changed(Service* service,
         knob.is_edge() && knob.completion_service() == service->id();
     if (owns || targets) estimator_.clear(knob);
   }
-  if (decision_log_ != nullptr) {
-    obs::ControlDecisionRecord rec;
-    rec.at = now;
-    rec.controller = controller_name();
-    rec.round = control_rounds_;
-    rec.target = service->name();
-    rec.action = "relocalize";
-    rec.reason = "topology changed (" + why +
-                 "): localization window restarted, affected scatter discarded";
-    decision_log_->append(std::move(rec));
-  }
+  obs::ControlDecisionRecord rec;
+  rec.at = now;
+  rec.target = service->name();
+  rec.action = "relocalize";
+  rec.reason = "topology changed (" + why +
+               "): localization window restarted, affected scatter discarded";
+  record_decision(std::move(rec));
   SORA_INFO << "sora: topology changed for " << service->name() << " (" << why
             << "), relocalizing";
 }
@@ -321,22 +300,18 @@ void SoraFramework::on_hardware_scaled(Service* service, double old_cores,
 
     if (factor != 1.0) {
       const AdaptAction action = adapter_.rescale_proportional(knob, factor, now);
-      if (decision_log_ != nullptr) {
-        obs::ControlDecisionRecord rec;
-        rec.at = now;
-        rec.controller = controller_name();
-        rec.round = control_rounds_;
-        rec.target = knob.label();
-        rec.action = to_string(action.type);
-        rec.reason = action.reason;
-        rec.old_size = action.old_size;
-        rec.new_size = action.new_size;
-        rec.old_cores = old_cores;
-        rec.new_cores = new_cores;
-        rec.old_replicas = old_replicas;
-        rec.new_replicas = new_replicas;
-        decision_log_->append(std::move(rec));
-      }
+      obs::ControlDecisionRecord rec;
+      rec.at = now;
+      rec.target = knob.label();
+      rec.action = to_string(action.type);
+      rec.reason = action.reason;
+      rec.old_size = action.old_size;
+      rec.new_size = action.new_size;
+      rec.old_cores = old_cores;
+      rec.new_cores = new_cores;
+      rec.old_replicas = old_replicas;
+      rec.new_replicas = new_replicas;
+      record_decision(std::move(rec));
     }
     // The learned concurrency-goodput curve described the old hardware.
     estimator_.clear(knob);

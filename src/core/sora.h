@@ -12,12 +12,18 @@
 // Configured with ModelKind::kScatterConcurrencyThroughput and deadline
 // propagation disabled, the same loop implements the ConScale baseline
 // (make_conscale_options).
+//
+// SoraFramework implements the shared Controller contract
+// (autoscale/controller.h): localization runs in observe(), the per-knob
+// estimate/adapt loop in decide(), and the harness drives it exactly like
+// every other controller.
 #pragma once
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "autoscale/controller.h"
 #include "core/adapter.h"
 #include "core/deadline.h"
 #include "core/estimator.h"
@@ -61,7 +67,7 @@ SoraFrameworkOptions make_conscale_options();
 
 class Application;
 
-class SoraFramework {
+class SoraFramework : public Controller {
  public:
   SoraFramework(Application& app, TraceWarehouse& warehouse,
                 SoraFrameworkOptions options = {});
@@ -69,8 +75,20 @@ class SoraFramework {
   /// Register a soft-resource knob for runtime adaptation.
   void manage(const ResourceKnob& knob);
 
-  void start();
-  void stop();
+  /// "sora" for the SCG model, "conscale" for the SCT baseline; used as the
+  /// controller tag in decision records and metric labels.
+  const char* name() const override;
+  ControllerNeeds needs() const override {
+    ControllerNeeds n;
+    n.scatter_samples = true;
+    n.traces = true;
+    return n;
+  }
+  /// Per knob and round: at most one pool resize plus one knee publication
+  /// to the admission layer.
+  std::size_t max_actions_per_round() const override {
+    return knobs_.size() * 2;
+  }
 
   /// Notify the framework that a hardware autoscaler changed `service`
   /// (wired by the harness to Autoscaler::add_scale_listener). Performs the
@@ -84,25 +102,10 @@ class SoraFramework {
   /// localization window analyzed a topology that no longer exists, so it
   /// restarts, and the affected knobs' learned scatter is discarded; a
   /// "relocalize" record documents why.
-  void on_topology_changed(Service* service, const std::string& why);
+  void on_topology_changed(Service* service, const std::string& why) override;
 
-  /// Fault-injection hook: while stalled, control_round() skips every phase
-  /// and appends a single "stalled" record per round. Scatter samplers keep
-  /// accumulating, so the first round after the stall ends sees a stale,
-  /// oversized window — exactly the condition the estimator's sample gates
-  /// must survive.
-  void set_stalled(bool stalled) { stalled_ = stalled; }
-  bool stalled() const { return stalled_; }
-
-  /// Attach a control-decision audit log. One record is appended per
-  /// managed knob per control round (including skipped/held knobs) and per
-  /// proportional rescale triggered by hardware scaling. Nullptr detaches.
-  void set_decision_log(obs::DecisionLog* log) { decision_log_ = log; }
-  obs::DecisionLog* decision_log() const { return decision_log_; }
-
-  /// "sora" for the SCG model, "conscale" for the SCT baseline; used as the
-  /// controller tag in decision records and metric labels.
-  const char* controller_name() const;
+  /// Backwards-compatible alias for name() (pre-Controller callers).
+  const char* controller_name() const { return name(); }
 
   // -- introspection -----------------------------------------------------------
 
@@ -111,7 +114,7 @@ class SoraFramework {
   const CriticalServiceReport& last_report() const { return last_report_; }
   const std::vector<ResourceKnob>& managed() const { return knobs_; }
   const SoraFrameworkOptions& options() const { return options_; }
-  std::uint64_t control_rounds() const { return control_rounds_; }
+  std::uint64_t control_rounds() const { return rounds(); }
 
   /// One last-good knee estimate per knob that has ever produced a valid
   /// fit. For the ctl plane's /statusz: the per-replica knee the adapter is
@@ -129,6 +132,12 @@ class SoraFramework {
   /// Run one control round immediately (exposed for tests).
   void control_round();
 
+ protected:
+  void begin() override;
+  void tick() override { control_round(); }
+  void observe(SimTime now) override;
+  std::vector<ControlAction> decide(SimTime now) override;
+
  private:
   Application& app_;
   TraceWarehouse& warehouse_;
@@ -140,12 +149,13 @@ class SoraFramework {
   CriticalServiceReport last_report_;
 
   std::vector<ResourceKnob> knobs_;
-  EventHandle tick_;
-  bool running_ = false;
-  bool stalled_ = false;
-  std::uint64_t control_rounds_ = 0;
 
-  obs::DecisionLog* decision_log_ = nullptr;
+  // Localization verdict resolved in observe(), shared by every knob's
+  // record in the same round's decide().
+  std::string critical_name_;
+  double critical_util_ = 0.0;
+  double critical_pcc_ = 0.0;
+
   // knob label -> sim time of the last valid estimate (drives the
   // "estimate age" gauge: how stale is the knowledge the knob runs on).
   std::map<std::string, SimTime> last_valid_estimate_;

@@ -109,8 +109,8 @@ void FaultInjector::fire_crash(const FaultEvent& ev) {
                                       : "replica crashed, draining") +
              " (replica " + std::to_string(chosen) + ")",
          0.0, 0.0, before, svc->active_replicas());
-  for (SoraFramework* fw : hooks_.frameworks) {
-    fw->on_topology_changed(svc, "instance crash");
+  for (Controller* c : hooks_.controllers) {
+    c->on_topology_changed(svc, "instance crash");
   }
   SORA_INFO << "fault: crashed " << svc->name() << "[" << chosen << "]";
 
@@ -123,8 +123,8 @@ void FaultInjector::fire_crash(const FaultEvent& ev) {
              "replica " + std::to_string(chosen) + " restarted after " +
                  std::to_string(to_sec(ev.duration)) + "s downtime",
              0.0, 0.0, was, svc->active_replicas());
-      for (SoraFramework* fw : hooks_.frameworks) {
-        fw->on_topology_changed(svc, "instance restart");
+      for (Controller* c : hooks_.controllers) {
+        c->on_topology_changed(svc, "instance restart");
       }
       SORA_INFO << "fault: restored " << svc->name() << "[" << chosen << "]";
     });
@@ -202,8 +202,7 @@ void FaultInjector::fire_stall(const FaultEvent& ev) {
 void FaultInjector::set_stall(bool on) {
   stall_depth_ += on ? 1 : -1;
   const bool stalled = stall_depth_ > 0;
-  for (SoraFramework* fw : hooks_.frameworks) fw->set_stalled(stalled);
-  for (Autoscaler* sc : hooks_.scalers) sc->set_stalled(stalled);
+  for (Controller* c : hooks_.controllers) c->set_stalled(stalled);
 }
 
 namespace {

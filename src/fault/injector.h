@@ -38,7 +38,7 @@
 namespace sora {
 
 class Application;
-class Autoscaler;
+class Controller;
 class Service;
 class Simulator;
 class SoraFramework;
@@ -49,14 +49,19 @@ class DecisionLog;
 class FaultInjector {
  public:
   /// Everything the injector acts on. `log` may be null (no audit records);
-  /// frameworks/scalers may be empty (telemetry faults then only count).
+  /// the controller lists may be empty (telemetry faults then only count).
+  /// `controllers` is the uniform list every control plane lives on —
+  /// stalls and topology notifications go through the shared Controller
+  /// contract. `frameworks` additionally names the Sora/ConScale instances
+  /// (also present in `controllers`) whose estimator internals the scatter-
+  /// dropout fault gates.
   struct Hooks {
     Simulator* sim = nullptr;
     Application* app = nullptr;
     Tracer* tracer = nullptr;
     obs::DecisionLog* log = nullptr;
+    std::vector<Controller*> controllers;
     std::vector<SoraFramework*> frameworks;
-    std::vector<Autoscaler*> scalers;
   };
 
   FaultInjector(FaultPlan plan, Hooks hooks, std::uint64_t seed);

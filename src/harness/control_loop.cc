@@ -1,0 +1,30 @@
+#include "harness/control_loop.h"
+
+namespace sora {
+
+void ControlLoop::add(Controller* controller) {
+  if (controller == nullptr) return;
+  for (Controller* c : controllers_) {
+    if (c == controller) return;
+  }
+  controllers_.push_back(controller);
+}
+
+void ControlLoop::start_all() {
+  for (Controller* c : controllers_) c->start();
+}
+
+void ControlLoop::stop_all() {
+  for (Controller* c : controllers_) c->stop();
+}
+
+std::vector<ControlAction> ControlLoop::step_all() {
+  std::vector<ControlAction> all;
+  for (Controller* c : controllers_) {
+    std::vector<ControlAction> acts = c->round();
+    all.insert(all.end(), acts.begin(), acts.end());
+  }
+  return all;
+}
+
+}  // namespace sora

@@ -1,0 +1,42 @@
+// Harness-side control loop: one registry drives every controller.
+//
+// Sora/ConScale, the hardware autoscalers and the bi-level/gradient
+// baselines all implement the Controller contract (autoscale/controller.h);
+// the loop is the single place the harness starts, stops, steps and
+// enumerates them. Fault injection and the ctl plane take the same list, so
+// a controller registered here automatically participates in stalls and
+// topology notifications — there is no second wiring path to forget.
+//
+// Registration order is start order; the Experiment registers soft-resource
+// frameworks before hardware scalers to preserve the historical same-
+// timestamp event ordering between paired control planes.
+#pragma once
+
+#include <vector>
+
+#include "autoscale/controller.h"
+
+namespace sora {
+
+class ControlLoop {
+ public:
+  /// Register a controller (deduplicated; registration order = start order).
+  void add(Controller* controller);
+  void clear() { controllers_.clear(); }
+
+  const std::vector<Controller*>& controllers() const { return controllers_; }
+
+  /// Start every registered controller (idempotent per controller).
+  void start_all();
+  void stop_all();
+
+  /// Run one control round on every controller, in registration order, and
+  /// return all actions emitted (tests and offline tools; the scheduled
+  /// periodics do exactly this per controller).
+  std::vector<ControlAction> step_all();
+
+ private:
+  std::vector<Controller*> controllers_;
+};
+
+}  // namespace sora

@@ -138,6 +138,23 @@ FirmAutoscaler& Experiment::add_firm(FirmOptions options) {
   return *ptr;
 }
 
+AutothrottleController& Experiment::add_autothrottle(
+    AutothrottleOptions options) {
+  auto at = std::make_unique<AutothrottleController>(*app_, warehouse_, options);
+  auto* ptr = at.get();
+  ptr->set_decision_log(&decision_log_);
+  controllers_.push_back(std::move(at));
+  return *ptr;
+}
+
+LsramController& Experiment::add_lsram(LsramOptions options) {
+  auto ls = std::make_unique<LsramController>(*app_, warehouse_, options);
+  auto* ptr = ls.get();
+  ptr->set_decision_log(&decision_log_);
+  controllers_.push_back(std::move(ls));
+  return *ptr;
+}
+
 void Experiment::link(Autoscaler& scaler, SoraFramework& framework) {
   scaler.add_scale_listener([&framework](const ScaleEvent& ev) {
     framework.on_hardware_scaled(ev.service, ev.old_cores, ev.new_cores,
@@ -349,8 +366,15 @@ void Experiment::start_all() {
     for (auto& gen : open_loops_) gen->start();
     for (auto& gen : closed_loops_) gen->start();
   }
-  for (auto& fw : frameworks_) fw->start();
-  for (auto& sc : scalers_) sc->start();
+  // One loop drives every control plane, through the shared Controller
+  // contract, in start order: frameworks first (preserving the historical
+  // same-timestamp ordering between paired control planes), then hardware
+  // scalers, then the bi-level/gradient controllers.
+  control_loop_.clear();
+  for (auto& fw : frameworks_) control_loop_.add(fw.get());
+  for (auto& sc : scalers_) control_loop_.add(sc.get());
+  for (auto& c : controllers_) control_loop_.add(c.get());
+  control_loop_.start_all();
   if (fault_plan_.has_value()) {
     // Built here, not in enable_faults(): the hooks must see every control
     // plane added to the experiment, whatever the call order was.
@@ -359,8 +383,8 @@ void Experiment::start_all() {
     hooks.app = app_.get();
     hooks.tracer = &tracer_;
     hooks.log = &decision_log_;
+    hooks.controllers = control_loop_.controllers();
     for (auto& fw : frameworks_) hooks.frameworks.push_back(fw.get());
-    for (auto& sc : scalers_) hooks.scalers.push_back(sc.get());
     fault_injector_ = std::make_unique<FaultInjector>(
         std::move(*fault_plan_), std::move(hooks), config_.seed);
     fault_injector_->arm();

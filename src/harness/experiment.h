@@ -12,12 +12,15 @@
 #include <vector>
 
 #include "admission/controller.h"
+#include "autoscale/autothrottle.h"
 #include "autoscale/firm.h"
 #include "ctl/plane.h"
 #include "autoscale/hpa.h"
+#include "autoscale/lsram.h"
 #include "autoscale/vpa.h"
 #include "core/sora.h"
 #include "fault/injector.h"
+#include "harness/control_loop.h"
 #include "metrics/latency_recorder.h"
 #include "obs/budget.h"
 #include "obs/chrome_trace.h"
@@ -125,6 +128,8 @@ class Experiment {
   HorizontalPodAutoscaler& add_hpa(HpaOptions options = {});
   VerticalPodAutoscaler& add_vpa(VpaOptions options = {});
   FirmAutoscaler& add_firm(FirmOptions options = {});
+  AutothrottleController& add_autothrottle(AutothrottleOptions options = {});
+  LsramController& add_lsram(LsramOptions options = {});
 
   /// Forward an autoscaler's scale events into a framework (Sora's
   /// Reallocation Module coordination).
@@ -135,6 +140,12 @@ class Experiment {
   const std::vector<std::unique_ptr<SoraFramework>>& frameworks() const {
     return frameworks_;
   }
+
+  /// The loop driving every control plane added to this experiment
+  /// (populated at start_all(), in start order: soft-resource frameworks,
+  /// hardware scalers, then the bi-level/gradient controllers). Fault
+  /// injection and the ctl plane take their controller lists from here.
+  const ControlLoop& control_loop() const { return control_loop_; }
 
   // -- admission control ---------------------------------------------------------
 
@@ -288,6 +299,8 @@ class Experiment {
   std::vector<std::unique_ptr<ClosedLoopGenerator>> closed_loops_;
   std::vector<std::unique_ptr<SoraFramework>> frameworks_;
   std::vector<std::unique_ptr<Autoscaler>> scalers_;
+  std::vector<std::unique_ptr<Controller>> controllers_;
+  ControlLoop control_loop_;
 
   std::vector<Tracked> tracked_;
   EventHandle track_tick_;

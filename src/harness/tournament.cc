@@ -1,0 +1,288 @@
+#include "harness/tournament.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "apps/sock_shop.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "metrics/knob.h"
+
+namespace sora::bench {
+
+const std::vector<std::string>& tournament_controllers() {
+  static const std::vector<std::string> kNames = {
+      "sora",    "conscale",     "firm", "k8s-hpa",
+      "k8s-vpa", "autothrottle", "lsram"};
+  return kNames;
+}
+
+namespace {
+
+/// Controllers that publish an admitted-concurrency cap through
+/// AdmissionController::set_knee — their cells pair with the knee-coupled
+/// admission policy; everyone else gets the self-driven gradient limiter.
+bool publishes_knee(const std::string& controller) {
+  return controller == "sora" || controller == "conscale" ||
+         controller == "autothrottle";
+}
+
+/// The same scripted obstacle course for every faulted cell: an
+/// unannounced CPU-limit squeeze, a replica crash (topology notification),
+/// and a control-plane stall, spread over the middle of the run.
+FaultPlan scripted_faults(const TournamentCell& cell) {
+  FaultPlan plan;
+  {
+    FaultEvent ev;
+    ev.kind = FaultKind::kCpuLimitStep;
+    ev.at = cell.duration * 35 / 100;
+    ev.service = "cart";
+    ev.cores = 1.5;
+    plan.add(ev);
+  }
+  {
+    FaultEvent ev;
+    ev.kind = FaultKind::kCrashInstance;
+    ev.at = cell.duration / 2;
+    ev.service = "cart";
+    ev.duration = sec(20);
+    plan.add(ev);
+  }
+  {
+    FaultEvent ev;
+    ev.kind = FaultKind::kControlStall;
+    ev.at = cell.duration * 65 / 100;
+    ev.duration = sec(30);
+    plan.add(ev);
+  }
+  return plan;
+}
+
+}  // namespace
+
+TournamentRow run_tournament_cell(const TournamentCell& cell) {
+  sock_shop::Params params;
+  params.cart_cores = 2.0;
+  params.cart_threads = 5;
+  ExperimentConfig ecfg;
+  ecfg.duration = cell.duration;
+  ecfg.sla = cell.sla;
+  ecfg.seed = cell.seed;
+  Experiment exp(sock_shop::make_sock_shop(params), ecfg);
+
+  const WorkloadTrace trace(cell.shape, cell.duration, cell.base_users,
+                            cell.peak_users);
+  auto& users = exp.closed_loop(static_cast<int>(cell.base_users), sec(1),
+                                RequestMix(sock_shop::kBrowse));
+  users.follow_trace(trace);
+
+  if (cell.admission) {
+    AdmissionOptions ao;
+    ao.policy = publishes_knee(cell.controller) ? AdmissionPolicy::kKneeCoupled
+                                                : AdmissionPolicy::kGradient;
+    exp.enable_admission("cart", ao);
+  }
+
+  // Every cell gets the same hardware envelope (cart may grow from 2 to 4
+  // cores' worth of capacity): FIRM/VPA via the vertical limit, HPA via a
+  // second 2-core replica. The soft controllers (Sora/ConScale/
+  // Autothrottle/LSRAM) ride on the same FIRM vertical baseline the paper's
+  // Section 5.2 comparisons use, so the league isolates what the
+  // soft-resource/admission layer adds — not who was handed more cores.
+  FirmOptions firm_opts;
+  firm_opts.slo_latency = cell.sla;
+  firm_opts.min_cores = 2.0;
+  firm_opts.max_cores = 4.0;
+  auto add_firm_baseline = [&exp, &firm_opts]() -> FirmAutoscaler& {
+    auto& firm = exp.add_firm(firm_opts);
+    firm.manage(exp.app().service("cart"));
+    return firm;
+  };
+
+  Controller* ctl = nullptr;
+  if (cell.controller == "sora" || cell.controller == "conscale") {
+    SoraFrameworkOptions so = cell.controller == "conscale"
+                                  ? make_conscale_options()
+                                  : SoraFrameworkOptions{};
+    so.sla = cell.sla;
+    auto& fw = exp.add_sora(so);
+    fw.manage(ResourceKnob::entry(exp.app().service("cart")));
+    Experiment::link(add_firm_baseline(), fw);
+    ctl = &fw;
+  } else if (cell.controller == "firm") {
+    ctl = &add_firm_baseline();
+  } else if (cell.controller == "k8s-hpa") {
+    HpaOptions ho;
+    ho.max_replicas = 2;  // 2 x 2-core replicas = the shared 4-core envelope
+    auto& hpa = exp.add_hpa(ho);
+    hpa.manage(exp.app().service("cart"));
+    ctl = &hpa;
+  } else if (cell.controller == "k8s-vpa") {
+    VpaOptions vo;
+    vo.min_cores = 2.0;
+    vo.max_cores = 4.0;
+    auto& vpa = exp.add_vpa(vo);
+    vpa.manage(exp.app().service("cart"));
+    ctl = &vpa;
+  } else if (cell.controller == "autothrottle") {
+    AutothrottleOptions ao;
+    ao.budget = cell.sla;
+    auto& at = exp.add_autothrottle(ao);
+    at.manage(exp.app().service("cart"));
+    add_firm_baseline();
+    ctl = &at;
+  } else if (cell.controller == "lsram") {
+    LsramOptions lo;
+    lo.span_slo = cell.sla;
+    auto& ls = exp.add_lsram(lo);
+    ls.manage(ResourceKnob::entry(exp.app().service("cart")));
+    add_firm_baseline();
+    ctl = &ls;
+  } else {
+    throw std::invalid_argument("unknown tournament controller: " +
+                                cell.controller);
+  }
+
+  if (cell.faults) exp.enable_faults(scripted_faults(cell));
+  exp.enable_slo_analytics();
+  exp.run();
+
+  const ExperimentSummary s = exp.summary();
+  TournamentRow row;
+  row.cell = cell;
+  row.goodput_rps = s.goodput_rps;
+  row.p99_ms = s.p99_ms;
+  row.rounds = ctl->rounds();
+  row.actions = ctl->actions().size();
+  row.decisions_per_round =
+      row.rounds > 0
+          ? static_cast<double>(row.actions) / static_cast<double>(row.rounds)
+          : 0.0;
+  row.slo_episodes = s.slo_episodes;
+
+  // Adaptation lag: for each violation episode, how long until this
+  // controller next acted. Episodes the controller never reacted to (e.g.
+  // it held for the rest of the run) do not contribute a sample.
+  const auto& acts = ctl->actions();
+  double lag_sum_us = 0.0;
+  int lag_n = 0;
+  for (const auto* ep : exp.slo_monitor().episodes_for("e2e")) {
+    for (const auto& a : acts) {
+      if (a.at >= ep->start) {
+        lag_sum_us += static_cast<double>(a.at - ep->start);
+        ++lag_n;
+        break;
+      }
+    }
+  }
+  row.adaptation_lag_ms = lag_n > 0 ? lag_sum_us / lag_n / 1000.0 : 0.0;
+  return row;
+}
+
+std::vector<TournamentRow> run_tournament(
+    const std::vector<TournamentCell>& cells, int threads) {
+  return SweepRunner(threads).map(
+      cells, [](const TournamentCell& c) { return run_tournament_cell(c); });
+}
+
+std::string canonical_row(const TournamentRow& row) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s|%s|peak=%.0f|faults=%d|admission=%d|seed=%llu|goodput=%.4f|"
+      "p99=%.4f|lag_ms=%.4f|rounds=%llu|actions=%llu|dpr=%.4f|episodes=%zu",
+      row.cell.controller.c_str(), to_string(row.cell.shape),
+      row.cell.peak_users, row.cell.faults ? 1 : 0, row.cell.admission ? 1 : 0,
+      static_cast<unsigned long long>(row.cell.seed), row.goodput_rps,
+      row.p99_ms, row.adaptation_lag_ms,
+      static_cast<unsigned long long>(row.rounds),
+      static_cast<unsigned long long>(row.actions), row.decisions_per_round,
+      row.slo_episodes);
+  return buf;
+}
+
+std::vector<TournamentCell> tournament_grid(
+    const std::vector<std::string>& controllers,
+    const std::vector<TraceShape>& shapes, SimTime duration,
+    std::uint64_t seed) {
+  std::vector<TournamentCell> cells;
+  for (const auto& name : controllers) {
+    for (TraceShape shape : shapes) {
+      for (bool faults : {false, true}) {
+        for (bool admission : {false, true}) {
+          TournamentCell cell;
+          cell.controller = name;
+          cell.shape = shape;
+          cell.duration = duration;
+          cell.faults = faults;
+          cell.admission = admission;
+          cell.seed = seed;
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<LeagueEntry> league(const std::vector<TournamentRow>& rows) {
+  // Accumulate in first-seen order so equal-goodput ties stay stable.
+  std::vector<LeagueEntry> entries;
+  auto find = [&entries](const std::string& name) -> LeagueEntry& {
+    for (auto& e : entries) {
+      if (e.controller == name) return e;
+    }
+    entries.push_back(LeagueEntry{name});
+    return entries.back();
+  };
+  for (const auto& row : rows) {
+    LeagueEntry& e = find(row.cell.controller);
+    ++e.cells;
+    e.goodput_rps += row.goodput_rps;
+    e.p99_ms += row.p99_ms;
+    e.adaptation_lag_ms += row.adaptation_lag_ms;
+    e.decisions_per_round += row.decisions_per_round;
+  }
+  for (auto& e : entries) {
+    if (e.cells == 0) continue;
+    const double n = static_cast<double>(e.cells);
+    e.goodput_rps /= n;
+    e.p99_ms /= n;
+    e.adaptation_lag_ms /= n;
+    e.decisions_per_round /= n;
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const LeagueEntry& a, const LeagueEntry& b) {
+                     return a.goodput_rps > b.goodput_rps;
+                   });
+  return entries;
+}
+
+TextTable rows_table(const std::vector<TournamentRow>& rows) {
+  TextTable t({"controller", "trace", "faults", "admission", "goodput (r/s)",
+               "p99 (ms)", "adapt lag (ms)", "rounds", "decisions/round"});
+  for (const auto& row : rows) {
+    t.add_row({row.cell.controller, to_string(row.cell.shape),
+               row.cell.faults ? "on" : "off",
+               row.cell.admission ? "on" : "off", fmt(row.goodput_rps, 1),
+               fmt(row.p99_ms, 1), fmt(row.adaptation_lag_ms, 1),
+               fmt_count(row.rounds), fmt(row.decisions_per_round, 2)});
+  }
+  return t;
+}
+
+TextTable league_table(const std::vector<LeagueEntry>& entries) {
+  TextTable t({"rank", "controller", "cells", "goodput (r/s)", "p99 (ms)",
+               "adapt lag (ms)", "decisions/round"});
+  int rank = 0;
+  for (const auto& e : entries) {
+    t.add_row({fmt_count(++rank), e.controller, fmt_count(e.cells),
+               fmt(e.goodput_rps, 1), fmt(e.p99_ms, 1),
+               fmt(e.adaptation_lag_ms, 1), fmt(e.decisions_per_round, 2)});
+  }
+  return t;
+}
+
+}  // namespace sora::bench

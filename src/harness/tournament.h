@@ -1,0 +1,101 @@
+// Controller tournament: every control plane on the same obstacle course.
+//
+// A tournament cell is one Experiment run: a named controller, a workload
+// trace shape, a peak-load multiplier, and two toggles — deterministic
+// faults on/off and admission control on/off. Every cell runs the same
+// Sock Shop cart topology the Section 5.2 benches use under the same
+// maximum hardware envelope (the cart may grow from 2 to 4 cores' worth of
+// capacity, vertically or horizontally), and the soft controllers ride on
+// the same FIRM vertical baseline as the paper's comparisons — so the
+// league isolates the control policy, not the resource budget.
+//
+// Per-cell metrics:
+//   goodput/p99       — client view from the experiment summary
+//   adaptation lag    — mean time from an SLO-violation episode opening to
+//                       the controller's first subsequent action
+//   decisions/round   — emitted ControlActions per control round
+//
+// Determinism: a cell is a pure function of its fields. run_tournament fans
+// cells over SweepRunner and returns rows in cell order, so serial and
+// parallel sweeps emit byte-identical tables (tests/test_tournament.cc pins
+// this). canonical_row() is the fixed-format comparison string.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "workload/traces.h"
+
+namespace sora::bench {
+
+/// Controller names accepted by run_tournament_cell, in league order.
+const std::vector<std::string>& tournament_controllers();
+
+struct TournamentCell {
+  std::string controller;  ///< one of tournament_controllers()
+  TraceShape shape = TraceShape::kSteepTriPhase;
+  SimTime duration = minutes(3);
+  SimTime sla = msec(400);
+  double base_users = 600;
+  /// Peak of the closed-loop population trace. The default drives the
+  /// 2-core/5-thread cart at roughly twice its knee capacity, the paper's
+  /// overload operating point.
+  double peak_users = 2400;
+  bool faults = false;     ///< scripted CPU-limit step + crash + stall
+  bool admission = false;  ///< cart admission (knee-coupled when published)
+  std::uint64_t seed = 42;
+};
+
+struct TournamentRow {
+  TournamentCell cell;
+  double goodput_rps = 0.0;
+  double p99_ms = 0.0;
+  /// Mean ms from episode start to the controller's first action at or
+  /// after it (0 when no episode was followed by an action).
+  double adaptation_lag_ms = 0.0;
+  std::uint64_t rounds = 0;
+  std::uint64_t actions = 0;
+  double decisions_per_round = 0.0;
+  std::size_t slo_episodes = 0;
+};
+
+/// Run one cell to completion. Pure function of the cell (fresh Experiment,
+/// seeded from cell.seed); safe to invoke concurrently.
+TournamentRow run_tournament_cell(const TournamentCell& cell);
+
+/// Fan the cells over a SweepRunner (threads <= 0 = default worker count,
+/// honoring SORA_SWEEP_THREADS) and return rows in cell order.
+std::vector<TournamentRow> run_tournament(
+    const std::vector<TournamentCell>& cells, int threads = 0);
+
+/// Fixed-format one-line rendering of a row; byte-equality of these strings
+/// is the tournament's determinism contract.
+std::string canonical_row(const TournamentRow& row);
+
+/// Build the full cross-product grid.
+std::vector<TournamentCell> tournament_grid(
+    const std::vector<std::string>& controllers,
+    const std::vector<TraceShape>& shapes, SimTime duration,
+    std::uint64_t seed);
+
+/// One league-table line: a controller's metrics averaged across its cells.
+struct LeagueEntry {
+  std::string controller;
+  std::size_t cells = 0;
+  double goodput_rps = 0.0;  ///< mean across cells
+  double p99_ms = 0.0;
+  double adaptation_lag_ms = 0.0;
+  double decisions_per_round = 0.0;
+};
+
+/// Aggregate rows per controller (mean over cells), sorted by descending
+/// goodput — the league order.
+std::vector<LeagueEntry> league(const std::vector<TournamentRow>& rows);
+
+/// Render rows / league entries as aligned tables.
+TextTable rows_table(const std::vector<TournamentRow>& rows);
+TextTable league_table(const std::vector<LeagueEntry>& entries);
+
+}  // namespace sora::bench

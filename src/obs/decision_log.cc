@@ -61,6 +61,9 @@ std::string ControlDecisionRecord::to_json() const {
     }
   }
 
+  if (latency_target_ms > 0.0) obj.field("latency_target_ms", latency_target_ms);
+  if (objective_valid) obj.field("objective", objective);
+
   if (!fault_kind.empty()) obj.field("fault_kind", fault_kind);
   if (!causal_rank.empty() || !causal_perturbation.empty()) {
     if (!causal_perturbation.empty()) {

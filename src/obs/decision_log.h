@@ -72,6 +72,15 @@ struct ControlDecisionRecord {
   SimTime remaining_deadline = 0;  ///< deadline - now at the decision (0=none)
   std::string priority;            ///< "high" / "batch"
 
+  // -- bi-level / gradient-descent controllers ----------------------------------
+  /// Per-service latency target assigned by a global credit allocator
+  /// (autothrottle records); 0 when the record carries no target.
+  double latency_target_ms = 0.0;
+  /// Objective value the allocator/gradient stepper evaluated this round
+  /// (lsram records); meaningful only when objective_valid is set.
+  double objective = 0.0;
+  bool objective_valid = false;
+
   // -- fault injection ----------------------------------------------------------
   /// Fault kind on controller=="fault" records (crash_instance,
   /// cpu_limit_step, span_dropout, span_delay, scatter_dropout,

@@ -1,0 +1,266 @@
+// Controller conformance suite: every control plane, one contract.
+//
+// Parameterized over all seven controllers (Sora, ConScale, FIRM, HPA, VPA,
+// Autothrottle, LSRAM), each wired into the same chain topology through the
+// Experiment harness. The suite pins the shared Controller contract:
+// byte-identical reruns per seed, no actions before the first control
+// period, bounded actions per round, graceful stalled rounds and topology
+// changes, and schema-valid decision records. A final non-parameterized
+// test pins the base-class reason guard every controller inherits.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.h"
+#include "metrics/knob.h"
+#include "test_util.h"
+
+namespace sora {
+namespace {
+
+constexpr SimTime kDuration = sec(50);
+constexpr SimTime kSla = msec(8);
+
+struct Rig {
+  std::unique_ptr<Experiment> exp;
+  Controller* ctl = nullptr;
+};
+
+Rig make_rig(const std::string& name, std::uint64_t seed,
+             SimTime duration = kDuration) {
+  ExperimentConfig ecfg;
+  ecfg.seed = seed;
+  ecfg.duration = duration;
+  ecfg.sla = kSla;
+  Rig rig;
+  rig.exp = std::make_unique<Experiment>(testutil::chain_app(0.4), ecfg);
+  Experiment& exp = *rig.exp;
+  exp.closed_loop(16, msec(10), RequestMix(0));
+
+  if (name == "sora" || name == "conscale") {
+    SoraFrameworkOptions so =
+        name == "conscale" ? make_conscale_options() : SoraFrameworkOptions{};
+    so.sla = kSla;
+    auto& fw = exp.add_sora(so);
+    fw.manage(ResourceKnob::entry(exp.app().service("mid")));
+    rig.ctl = &fw;
+  } else if (name == "firm") {
+    FirmOptions fo;
+    fo.slo_latency = kSla;
+    auto& firm = exp.add_firm(fo);
+    firm.manage(exp.app().service("mid"));
+    rig.ctl = &firm;
+  } else if (name == "k8s-hpa") {
+    auto& hpa = exp.add_hpa();
+    hpa.manage(exp.app().service("mid"));
+    rig.ctl = &hpa;
+  } else if (name == "k8s-vpa") {
+    auto& vpa = exp.add_vpa();
+    vpa.manage(exp.app().service("mid"));
+    rig.ctl = &vpa;
+  } else if (name == "autothrottle") {
+    AutothrottleOptions ao;
+    ao.period = sec(15);
+    ao.budget = kSla;
+    ao.min_spans = 5;
+    auto& at = exp.add_autothrottle(ao);
+    at.manage(exp.app().service("mid"));
+    rig.ctl = &at;
+  } else if (name == "lsram") {
+    LsramOptions lo;
+    lo.span_slo = msec(4);
+    lo.min_spans = 5;
+    auto& ls = exp.add_lsram(lo);
+    ls.manage(ResourceKnob::entry(exp.app().service("mid")));
+    rig.ctl = &ls;
+  }
+  EXPECT_NE(rig.ctl, nullptr) << "unknown controller: " << name;
+  return rig;
+}
+
+std::string log_bytes(const Experiment& exp) {
+  std::ostringstream os;
+  exp.export_decision_log(os);
+  return os.str();
+}
+
+class ControllerConformance : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllControllers, ControllerConformance,
+    ::testing::Values("sora", "conscale", "firm", "k8s-hpa", "k8s-vpa",
+                      "autothrottle", "lsram"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST_P(ControllerConformance, ReportsNameAndBoundedContract) {
+  Rig rig = make_rig(GetParam(), 42);
+  EXPECT_EQ(std::string(rig.ctl->name()), GetParam());
+  EXPECT_GT(rig.ctl->max_actions_per_round(), 0u);
+  const ControllerNeeds needs = rig.ctl->needs();
+  // Every controller in this suite consumes at least one telemetry feed.
+  EXPECT_TRUE(needs.scatter_samples || needs.traces || needs.metrics_window);
+}
+
+TEST_P(ControllerConformance, ByteIdenticalRerunsPerSeed) {
+  for (std::uint64_t seed : {7ull, 42ull}) {
+    Rig first = make_rig(GetParam(), seed);
+    first.exp->run();
+    Rig second = make_rig(GetParam(), seed);
+    second.exp->run();
+    EXPECT_EQ(log_bytes(*first.exp), log_bytes(*second.exp))
+        << GetParam() << " decision log diverged across reruns, seed "
+        << seed;
+    EXPECT_EQ(first.ctl->rounds(), second.ctl->rounds());
+    EXPECT_EQ(first.ctl->actions().size(), second.ctl->actions().size());
+  }
+}
+
+TEST_P(ControllerConformance, NoActionsBeforeWarmup) {
+  Rig rig = make_rig(GetParam(), 42);
+  rig.exp->run();
+  EXPECT_GE(rig.ctl->rounds(), 2u);
+  for (const ControlAction& a : rig.ctl->actions()) {
+    EXPECT_GE(a.at, rig.ctl->period())
+        << GetParam() << " acted before the first control period";
+    EXPECT_GE(a.round, 1u);
+    EXPECT_FALSE(a.reason.empty());
+  }
+}
+
+TEST_P(ControllerConformance, ActionsPerRoundStayBounded) {
+  Rig rig = make_rig(GetParam(), 42);
+  rig.exp->run();
+  std::map<std::uint64_t, std::size_t> per_round;
+  for (const ControlAction& a : rig.ctl->actions()) ++per_round[a.round];
+  for (const auto& [round, count] : per_round) {
+    EXPECT_LE(count, rig.ctl->max_actions_per_round())
+        << GetParam() << " emitted " << count << " actions in round "
+        << round;
+  }
+}
+
+TEST_P(ControllerConformance, StalledRoundsAreGracefulAndAudited) {
+  Rig rig = make_rig(GetParam(), 42);
+  // Stall [20s, 35s): the 30s round is skipped, 15s and 45s run normally.
+  FaultPlan plan;
+  FaultEvent ev;
+  ev.kind = FaultKind::kControlStall;
+  ev.at = sec(20);
+  ev.duration = sec(15);
+  plan.add(ev);
+  rig.exp->enable_faults(plan);
+  rig.exp->run();
+
+  int stalled_records = 0;
+  for (const auto& rec : rig.exp->decision_log().records()) {
+    if (rec.controller == GetParam() && rec.action == "stalled") {
+      ++stalled_records;
+      EXPECT_FALSE(rec.reason.empty());
+      EXPECT_EQ(rec.fault_kind, "control_stall");
+    }
+  }
+  EXPECT_GE(stalled_records, 1) << GetParam() << " left no stall audit trail";
+  // Rounds kept counting through the stall (15s, 30s, 45s at minimum)...
+  EXPECT_GE(rig.ctl->rounds(), 3u);
+  // ...but no action landed inside the stall window.
+  for (const ControlAction& a : rig.ctl->actions()) {
+    EXPECT_FALSE(a.at >= sec(20) && a.at < sec(35))
+        << GetParam() << " acted while stalled, at=" << a.at;
+  }
+}
+
+TEST_P(ControllerConformance, TopologyChangeMidRunIsGraceful) {
+  Rig rig = make_rig(GetParam(), 42);
+  rig.exp->run_until(sec(20));
+  const std::uint64_t rounds_before = rig.ctl->rounds();
+  rig.ctl->on_topology_changed(rig.exp->app().service("mid"),
+                               "instance crash");
+  rig.exp->run_until(kDuration);
+  EXPECT_GT(rig.ctl->rounds(), rounds_before)
+      << GetParam() << " stopped running rounds after a topology change";
+  for (const auto& rec : rig.exp->decision_log().records()) {
+    if (rec.controller != GetParam()) continue;
+    EXPECT_FALSE(rec.action.empty());
+    EXPECT_FALSE(rec.reason.empty());
+  }
+}
+
+TEST_P(ControllerConformance, DecisionRecordsAreSchemaValid) {
+  Rig rig = make_rig(GetParam(), 42);
+  rig.exp->run();
+  int own_records = 0;
+  for (const auto& rec : rig.exp->decision_log().records()) {
+    if (rec.controller != GetParam()) continue;
+    ++own_records;
+    EXPECT_FALSE(rec.action.empty()) << GetParam() << " record without action";
+    EXPECT_FALSE(rec.reason.empty()) << GetParam() << " record without reason";
+    EXPECT_GE(rec.round, 1u);
+    EXPECT_GE(rec.at, rig.ctl->period());
+  }
+  EXPECT_GT(own_records, 0) << GetParam() << " appended no decision records";
+}
+
+// -- base-class reason guard (the unified VPA/HPA vs Sora/FIRM path) ---------
+
+class BareController : public Controller {
+ public:
+  using Controller::Controller;
+  const char* name() const override { return "bare"; }
+  ControllerNeeds needs() const override { return {}; }
+  std::size_t max_actions_per_round() const override { return 1; }
+
+ protected:
+  std::vector<ControlAction> decide(SimTime) override {
+    obs::ControlDecisionRecord rec;
+    rec.action = "hold";
+    record_decision(rec);  // no reason on purpose
+    ControlAction a;
+    a.kind = ControlAction::Kind::kPoolResize;
+    a.target = "svc/threads";
+    return {a};  // no reason on purpose
+  }
+};
+
+TEST(ControllerReasonGuard, EmptyReasonsGetTheSharedDefault) {
+  Simulator sim;
+  obs::DecisionLog log;
+  BareController ctl(sim, sec(1));
+  ctl.set_decision_log(&log);
+  const auto actions = ctl.round();
+
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].reason, "no rationale produced");
+  EXPECT_EQ(actions[0].round, 1u);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].controller, "bare");
+  EXPECT_EQ(log.records()[0].reason, "no rationale produced");
+  EXPECT_EQ(log.records()[0].round, 1u);
+}
+
+TEST(ControllerReasonGuard, StallRecordIsAppendedByTheBase) {
+  Simulator sim;
+  obs::DecisionLog log;
+  BareController ctl(sim, sec(1));
+  ctl.set_decision_log(&log);
+  ctl.set_stalled(true);
+  EXPECT_TRUE(ctl.round().empty());
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].action, "stalled");
+  EXPECT_EQ(log.records()[0].fault_kind, "control_stall");
+  EXPECT_EQ(ctl.rounds(), 1u);
+  ctl.set_stalled(false);
+  EXPECT_EQ(ctl.round().size(), 1u);
+  EXPECT_EQ(ctl.rounds(), 2u);
+}
+
+}  // namespace
+}  // namespace sora

@@ -1,0 +1,92 @@
+// Tournament determinism: a cell rerun twice and a sweep fanned over
+// worker threads (explicitly and via SORA_SWEEP_THREADS) must emit
+// byte-identical canonical league rows.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/tournament.h"
+
+namespace sora::bench {
+namespace {
+
+std::vector<TournamentCell> small_grid() {
+  std::vector<TournamentCell> cells;
+  auto cell = [](const char* name, bool faults, bool admission) {
+    TournamentCell c;
+    c.controller = name;
+    c.shape = TraceShape::kBigSpike;
+    c.duration = sec(40);
+    c.faults = faults;
+    c.admission = admission;
+    c.seed = 17;
+    return c;
+  };
+  cells.push_back(cell("sora", true, true));
+  cells.push_back(cell("autothrottle", false, true));
+  cells.push_back(cell("k8s-hpa", true, false));
+  cells.push_back(cell("lsram", false, false));
+  return cells;
+}
+
+std::vector<std::string> canonical(const std::vector<TournamentRow>& rows) {
+  std::vector<std::string> out;
+  for (const auto& r : rows) out.push_back(canonical_row(r));
+  return out;
+}
+
+TEST(Tournament, CellRerunIsByteIdentical) {
+  TournamentCell cell;
+  cell.controller = "sora";
+  cell.shape = TraceShape::kSteepTriPhase;
+  cell.duration = sec(40);
+  cell.faults = true;
+  cell.admission = true;
+  cell.seed = 23;
+  const std::string first = canonical_row(run_tournament_cell(cell));
+  const std::string second = canonical_row(run_tournament_cell(cell));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("sora|"), std::string::npos);
+}
+
+TEST(Tournament, SerialAndParallelSweepsEmitIdenticalRows) {
+  const auto cells = small_grid();
+  const auto serial = canonical(run_tournament(cells, 1));
+  const auto parallel = canonical(run_tournament(cells, 4));
+  ASSERT_EQ(serial.size(), cells.size());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Tournament, SweepThreadsEnvVarPreservesRows) {
+  const auto cells = small_grid();
+  const auto serial = canonical(run_tournament(cells, 1));
+
+  const char* prev = std::getenv("SORA_SWEEP_THREADS");
+  const std::string saved = prev ? prev : "";
+  ::setenv("SORA_SWEEP_THREADS", "4", 1);
+  const auto enviro = canonical(run_tournament(cells, 0));
+  if (prev) {
+    ::setenv("SORA_SWEEP_THREADS", saved.c_str(), 1);
+  } else {
+    ::unsetenv("SORA_SWEEP_THREADS");
+  }
+  EXPECT_EQ(serial, enviro);
+}
+
+TEST(Tournament, LeagueAggregatesAndRanks) {
+  const auto cells = small_grid();
+  const auto rows = run_tournament(cells, 2);
+  const auto standings = league(rows);
+  ASSERT_EQ(standings.size(), 4u);  // four distinct controllers
+  for (std::size_t i = 1; i < standings.size(); ++i) {
+    EXPECT_GE(standings[i - 1].goodput_rps, standings[i].goodput_rps);
+  }
+  for (const auto& e : standings) EXPECT_EQ(e.cells, 1u);
+  EXPECT_EQ(league_table(standings).num_rows(), 4u);
+  EXPECT_EQ(rows_table(rows).num_rows(), 4u);
+}
+
+}  // namespace
+}  // namespace sora::bench
