@@ -48,6 +48,7 @@
 #include "harness/causal_lab.h"
 #include "harness/sweep.h"
 #include "obs/json.h"
+#include "topo/synth.h"
 
 namespace sora::bench {
 namespace {
@@ -289,6 +290,36 @@ ShardedProbeResult run_sharded_probe(int reps) {
   return r;
 }
 
+struct TopoSynthProbeResult {
+  int services = 0;
+  double wall_sec = 0.0;
+  double services_per_sec = 0.0;
+};
+
+/// Deterministic topology synthesis throughput: wall clock of one
+/// 2000-service synthesize() call (median of `reps`). Planet-scale benches
+/// and the CI smoke build their graphs this way, so a synthesis slowdown
+/// shows up here before it shows up as bench timeouts.
+TopoSynthProbeResult run_topo_synth_probe(int reps) {
+  TopoSynthProbeResult r;
+  r.services = 2000;
+  topo::TopologyConfig cfg;
+  cfg.seed = 1;
+  cfg.services = r.services;
+  std::vector<double> walls;
+  walls.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = WallClock::now();
+    const topo::Topology topo = topo::synthesize(cfg);
+    walls.push_back(elapsed_sec(start));
+    if (static_cast<int>(topo.app.services.size()) != r.services) return r;
+  }
+  std::sort(walls.begin(), walls.end());
+  r.wall_sec = walls[walls.size() / 2];
+  r.services_per_sec = r.wall_sec > 0 ? r.services / r.wall_sec : 0.0;
+  return r;
+}
+
 /// One sweep unit: a short cart run at a thread-pool setting derived from
 /// the index. Returns the summary so the parity between serial and
 /// parallel execution is checked on real output, not just timing.
@@ -415,6 +446,11 @@ std::string validate_trajectory(const std::string& path) {
         return "entry " + std::to_string(i) + ": |" + key +
                "| > 50% — suspect measurement";
       }
+    }
+    if (entry.has("topo_synth_services_per_sec") &&
+        !(entry["topo_synth_services_per_sec"].as_number() > 0)) {
+      return "entry " + std::to_string(i) +
+             ": topo_synth_services_per_sec not positive";
     }
     if (entry.has("sharded_events_per_sec")) {
       if (!(entry["sharded_events_per_sec"].as_number() > 0)) {
@@ -549,6 +585,14 @@ int main_impl(int argc, char** argv) {
             << "  window overhead : " << fmt(sharded.overhead_pct, 2)
             << " %\n";
 
+  const TopoSynthProbeResult topo_synth = run_topo_synth_probe(reps);
+  std::cout << "\ntopology synthesis probe (" << topo_synth.services
+            << " services, median of " << reps << "):\n"
+            << "  wall clock      : " << fmt(topo_synth.wall_sec * 1000.0, 2)
+            << " ms\n"
+            << "  services/sec    : "
+            << fmt(topo_synth.services_per_sec / 1e3, 1) << " K\n";
+
   const SweepResult sweep = run_sweep_probe();
   std::cout << "\nsweep probe (" << sweep.runs << " independent 20-s runs, "
             << sweep.workers << " worker(s)):\n"
@@ -573,6 +617,11 @@ int main_impl(int argc, char** argv) {
     o.field("sharded_serial_events_per_sec", sharded.serial_events_per_sec);
     o.field("sharded_shards", static_cast<std::uint64_t>(sharded.shards));
     o.field("sharded_overhead_pct", sharded.overhead_pct);
+  }
+  if (topo_synth.services_per_sec > 0) {
+    o.field("topo_synth_services", static_cast<std::uint64_t>(topo_synth.services));
+    o.field("topo_synth_wall_sec", topo_synth.wall_sec);
+    o.field("topo_synth_services_per_sec", topo_synth.services_per_sec);
   }
   o.field("sweep_runs", static_cast<std::uint64_t>(sweep.runs));
   o.field("sweep_workers", static_cast<std::uint64_t>(sweep.workers));

@@ -13,10 +13,28 @@ DeadlineResult propagate_deadline(const TraceWarehouse& warehouse, SimTime from,
   SORA_PROFILE_STAGE("sora.deadline_prop");
   DeadlineResult result;
   double upstream_sum = 0.0;
+  // Systematic sampling bound: count the matching traces first (cheap — no
+  // critical-path extraction), then fold every stride-th one.
+  std::size_t stride = 1;
+  if (options.max_traces > 0) {
+    std::size_t matching = 0;
+    warehouse.for_each_in_window(from, to, [&](const Trace& t) {
+      if (options.request_class >= 0 &&
+          t.request_class != options.request_class) {
+        return;
+      }
+      ++matching;
+    });
+    stride = (matching + options.max_traces - 1) /
+             std::max<std::size_t>(1, options.max_traces);
+    if (stride == 0) stride = 1;
+  }
+  std::size_t seen = 0;
   warehouse.for_each_in_window(from, to, [&](const Trace& t) {
     if (options.request_class >= 0 && t.request_class != options.request_class) {
       return;
     }
+    if (seen++ % stride != 0) return;
     const CriticalPath cp = [&] {
       SORA_PROFILE_STAGE("trace.critical_path");
       return extract_critical_path(t);

@@ -10,6 +10,8 @@
 // recent traces; we propagate the mean over the analysis window.
 #pragma once
 
+#include <cstddef>
+
 #include "common/ids.h"
 #include "common/time.h"
 #include "trace/warehouse.h"
@@ -27,6 +29,12 @@ struct DeadlineOptions {
   double min_fraction_of_sla = 0.1;
   /// Restrict to traces of this request class (-1 = all).
   int request_class = -1;
+  /// Upper bound on traces folded into the mean (0 = fold every trace in
+  /// the window). When the window holds more, every k-th matching trace is
+  /// folded (deterministic systematic sampling, no RNG) so the per-round
+  /// cost stays bounded on planet-scale fleets where critical paths run
+  /// hundreds of hops; the propagated mean is statistically unchanged.
+  std::size_t max_traces = 0;
 };
 
 struct DeadlineResult {

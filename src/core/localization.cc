@@ -69,23 +69,29 @@ void CriticalServiceLocalizer::accumulate(const Trace& t) {
     return extract_critical_path(t);
   }();
   for (const CriticalHop& hop : cp.hops) {
-    accum_[hop.service.value()].add(static_cast<double>(hop.processing_time),
-                                    static_cast<double>(cp.total_duration));
+    const std::uint64_t sid = hop.service.value();
+    if (sid >= accum_.size()) continue;  // defensive: unknown service
+    ++window_hops_;
+    accum_[sid].add(static_cast<double>(hop.processing_time),
+                    static_cast<double>(cp.total_duration));
   }
 }
 
 void CriticalServiceLocalizer::begin_window() {
   window_start_ = app_.sim().now();
-  busy_snapshot_.clear();
-  for (const auto& svc : app_.services()) {
-    busy_snapshot_[svc->id().value()] = svc->cpu_busy_integral();
+  const std::size_t n = app_.services().size();
+  busy_snapshot_.resize(n);
+  accum_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    busy_snapshot_[i] = app_.services()[i]->cpu_busy_integral();
+    accum_[i].reset();
   }
   // Restart the streaming state. Traces already in the warehouse whose
   // completion falls at or after the new window start stay in scope (the
   // boundary is inclusive, matching the old rescanning behaviour), so fold
   // them back in; everything later arrives via the store listener.
-  accum_.clear();
   window_traces_ = 0;
+  window_hops_ = 0;
   warehouse_.for_each_in_window(window_start_, kSimTimeNever,
                                 [this](const Trace& t) { accumulate(t); });
 }
@@ -95,17 +101,20 @@ CriticalServiceReport CriticalServiceLocalizer::analyze() {
   CriticalServiceReport report;
   const SimTime now = app_.sim().now();
   const SimTime elapsed = now - window_start_;
+  LocalizerRoundCost cost;
+  cost.traces_folded = window_traces_;
+  cost.hops_folded = window_hops_;
 
   // --- Step 1: utilization ---------------------------------------------------
-  std::map<std::uint64_t, ServiceDiagnostics> diag;
+  const std::size_t n = app_.services().size();
+  diag_.assign(n, ServiceDiagnostics{});
   double top_util = -1.0;
-  for (const auto& svc : app_.services()) {
-    ServiceDiagnostics d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& svc = app_.services()[i];
+    ServiceDiagnostics& d = diag_[i];
     d.service = svc->id();
     if (elapsed > 0) {
-      const double busy0 = busy_snapshot_.count(svc->id().value())
-                               ? busy_snapshot_[svc->id().value()]
-                               : 0.0;
+      const double busy0 = i < busy_snapshot_.size() ? busy_snapshot_[i] : 0.0;
       const double busy = svc->cpu_busy_integral() - busy0;
       const double capacity =
           svc->cpu_capacity() * static_cast<double>(elapsed);
@@ -115,26 +124,28 @@ CriticalServiceReport CriticalServiceLocalizer::analyze() {
       top_util = d.utilization;
       report.by_utilization = svc->id();
     }
-    diag.emplace(svc->id().value(), d);
   }
+  cost.services_scanned = n;
 
   // --- Step 2: PCC(PT_si, RT_CP), streamed since begin_window ------------------
   // The heavy lifting (critical-path extraction, co-moment accumulation)
-  // already happened at trace-store time; this pass is O(services).
+  // already happened at trace-store time; this pass is O(services), and
+  // services the window's critical paths never touched (acc.n == 0) cost
+  // one branch each.
   report.traces_analyzed = window_traces_;
   double top_pcc = -2.0;
-  for (const auto& [sid, acc] : accum_) {
-    auto it = diag.find(sid);
-    if (it == diag.end()) continue;
-    ServiceDiagnostics& d = it->second;
+  for (std::size_t i = 0; i < n && i < accum_.size(); ++i) {
+    const CorrelationAccumulator& acc = accum_[i];
+    if (acc.n == 0) continue;
+    ++cost.accumulators_folded;
+    ServiceDiagnostics& d = diag_[i];
     d.cp_appearances = static_cast<std::size_t>(acc.n);
-    d.mean_pt_ms =
-        acc.n == 0 ? 0.0 : to_msec(static_cast<SimTime>(acc.mean_x()));
+    d.mean_pt_ms = to_msec(static_cast<SimTime>(acc.mean_x()));
     if (acc.n < options_.min_cp_appearances) continue;
     d.pcc = acc.r();
     if (d.pcc > top_pcc) {
       top_pcc = d.pcc;
-      report.by_correlation = ServiceId(sid);
+      report.by_correlation = ServiceId(i);
     }
   }
 
@@ -143,12 +154,12 @@ CriticalServiceReport CriticalServiceLocalizer::analyze() {
   // back to the global correlation winner, then the utilization winner.
   ServiceId best_candidate;
   double best_candidate_pcc = -2.0;
-  for (const auto& [sid, d] : diag) {
+  for (const ServiceDiagnostics& d : diag_) {
     if (d.utilization >= options_.utilization_threshold &&
         d.cp_appearances >= options_.min_cp_appearances &&
         d.pcc > best_candidate_pcc) {
       best_candidate_pcc = d.pcc;
-      best_candidate = ServiceId(sid);
+      best_candidate = d.service;
     }
   }
   if (best_candidate.valid()) {
@@ -159,12 +170,46 @@ CriticalServiceReport CriticalServiceLocalizer::analyze() {
     report.critical = report.by_utilization;
   }
 
-  report.services.reserve(diag.size());
-  for (const auto& [sid, d] : diag) report.services.push_back(d);
-  std::sort(report.services.begin(), report.services.end(),
-            [](const ServiceDiagnostics& a, const ServiceDiagnostics& b) {
-              return a.pcc > b.pcc;
-            });
+  // --- Rank -------------------------------------------------------------------
+  if (options_.top_k > 0 && options_.top_k < n) {
+    // Top-k detail: O(n log k) partial sort with a deterministic id
+    // tie-break, plus the verdict's entry appended if it fell outside.
+    report.services.assign(diag_.begin(), diag_.end());
+    const auto k =
+        static_cast<std::vector<ServiceDiagnostics>::difference_type>(
+            options_.top_k);
+    std::partial_sort(
+        report.services.begin(), report.services.begin() + k,
+        report.services.end(),
+        [&cost](const ServiceDiagnostics& a, const ServiceDiagnostics& b) {
+          ++cost.sort_comparisons;
+          if (a.pcc != b.pcc) return a.pcc > b.pcc;
+          return a.service.value() < b.service.value();
+        });
+    report.services.resize(options_.top_k);
+    bool has_critical = false;
+    for (const ServiceDiagnostics& d : report.services) {
+      if (d.service == report.critical) {
+        has_critical = true;
+        break;
+      }
+    }
+    if (!has_critical && report.critical.valid() &&
+        report.critical.value() < diag_.size()) {
+      report.services.push_back(diag_[report.critical.value()]);
+    }
+  } else {
+    // Full report, sorted by PCC with the historical comparator — the
+    // exact sort the byte-parity suites pin down.
+    report.services.assign(diag_.begin(), diag_.end());
+    std::sort(report.services.begin(), report.services.end(),
+              [&cost](const ServiceDiagnostics& a,
+                      const ServiceDiagnostics& b) {
+                ++cost.sort_comparisons;
+                return a.pcc > b.pcc;
+              });
+  }
+  last_cost_ = cost;
   return report;
 }
 

@@ -17,7 +17,6 @@
 
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "common/ids.h"
@@ -49,6 +48,31 @@ struct LocalizerOptions {
   double utilization_threshold = 0.5;
   /// Minimum critical-path appearances for the PCC to be trusted.
   std::size_t min_cp_appearances = 10;
+  /// Cap the per-service detail in the report to the top-k entries by PCC
+  /// (the combined verdict's entry is always kept, appended if it fell
+  /// outside the top k). 0 = full report sorted by PCC, the historical
+  /// behaviour. At thousands of services the full O(n log n) sort — and
+  /// the report copy consumers then scan — dominates the round; top-k
+  /// replaces it with an O(n log k) partial sort. The verdict itself is
+  /// computed before any ranking and is identical in both modes.
+  std::size_t top_k = 0;
+};
+
+/// Work performed by one localization round (begin_window .. analyze),
+/// counted in ops rather than wall-clock so scale guards stay meaningful
+/// under sanitizers and on loaded CI machines. The round cost must stay
+/// O(services + traces·depth): nothing here may scale with
+/// services × traces.
+struct LocalizerRoundCost {
+  std::size_t services_scanned = 0;      ///< step-1 utilization pass length
+  std::size_t accumulators_folded = 0;   ///< step-2 entries with samples
+  std::size_t sort_comparisons = 0;      ///< comparator calls while ranking
+  std::size_t traces_folded = 0;         ///< traces folded since window start
+  std::size_t hops_folded = 0;           ///< critical-path hops folded
+  std::size_t total() const {
+    return services_scanned + accumulators_folded + sort_comparisons +
+           traces_folded + hops_folded;
+  }
 };
 
 /// Streaming Pearson state: single-pass co-moment accumulation with a
@@ -137,6 +161,10 @@ class CriticalServiceLocalizer {
   /// Analyze traces completed in [window start, now] and return the report.
   CriticalServiceReport analyze();
 
+  /// Op-count of the most recent analyze() round (plus the folds feeding
+  /// it). Valid after the first analyze().
+  const LocalizerRoundCost& last_round_cost() const { return last_cost_; }
+
  private:
   /// Fold one completed trace's critical path into the accumulators.
   void accumulate(const Trace& t);
@@ -146,14 +174,23 @@ class CriticalServiceLocalizer {
   LocalizerOptions options_;
 
   SimTime window_start_ = 0;
-  // per-service busy-integral snapshot at window start
-  std::map<std::uint64_t, double> busy_snapshot_;
-  // service -> streaming PCC(PT_si, RT_CP) state for the current window.
-  // Fed by the warehouse store listener (trace-completion context, which in
-  // sharded runs is always shard 0 — entry services live there — so this
-  // state is lane-confined); read by analyze() in control-round context.
-  std::map<std::uint64_t, CorrelationAccumulator> accum_;
+  // Dense per-service state indexed by ServiceId value (the service set is
+  // fixed after construction). Dense vectors iterate in ascending-id order
+  // exactly like the std::maps they replaced, so reports — and therefore
+  // decision logs — stay byte-identical; what changes is the per-round
+  // cost: the buffers are allocated once and reset in place each window
+  // instead of being torn down and re-grown node by node.
+  std::vector<double> busy_snapshot_;
+  // Streaming PCC(PT_si, RT_CP) state for the current window. Fed by the
+  // warehouse store listener (trace-completion context, which in sharded
+  // runs is always shard 0 — entry services live there — so this state is
+  // lane-confined); read by analyze() in control-round context.
+  std::vector<CorrelationAccumulator> accum_;
+  // analyze() scratch, reused across rounds.
+  std::vector<ServiceDiagnostics> diag_;
   std::size_t window_traces_ = 0;
+  std::size_t window_hops_ = 0;
+  LocalizerRoundCost last_cost_;
 };
 
 }  // namespace sora

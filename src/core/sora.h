@@ -112,6 +112,8 @@ class SoraFramework : public Controller {
   ConcurrencyEstimator& estimator() { return estimator_; }
   ConcurrencyAdapter& adapter() { return adapter_; }
   const CriticalServiceReport& last_report() const { return last_report_; }
+  /// The localization engine (scale guards read its per-round op count).
+  const CriticalServiceLocalizer& localizer() const { return localizer_; }
   const std::vector<ResourceKnob>& managed() const { return knobs_; }
   const SoraFrameworkOptions& options() const { return options_; }
   std::uint64_t control_rounds() const { return rounds(); }

@@ -64,6 +64,25 @@ Experiment::Experiment(ApplicationConfig app_config, ExperimentConfig config)
   if (app_config.request_sla == 0) app_config.request_sla = config_.sla;
   app_ = std::make_unique<Application>(sim_, tracer_, std::move(app_config),
                                        config_.seed);
+  // Traces that outlive their root (async callback edges) assemble on the
+  // lane of whichever service closed last; ride the network back to the
+  // entry lane before running the trace listeners. Listener state
+  // (warehouse, localizer, SLO monitor) stays confined to shard 0, and the
+  // hand-off costs exactly one network latency through the same
+  // merge-keyed mailbox path as response hops — so serial and sharded runs
+  // at any shard count see identical delivery times and stay
+  // byte-identical.
+  tracer_.set_deferred_delivery([this](Trace&& t, ServiceId last) {
+    Service* sender = app_->service(last);
+    if (sender == nullptr) {
+      tracer_.deliver_trace(std::move(t));
+      return;
+    }
+    app_->deliver(*sender, /*dst_shard=*/0,
+                  [this, done = std::move(t)]() mutable {
+                    tracer_.deliver_trace(std::move(done));
+                  });
+  });
   recorder_ = std::make_unique<LatencyRecorder>(sim_, config_.sla,
                                                 config_.timeline_bucket);
   profile_baseline_ = obs::OverheadProfiler::global().stats();
@@ -101,6 +120,20 @@ ClosedLoopGenerator& Experiment::closed_loop(int users, SimTime think_mean,
   });
   closed_loops_.push_back(std::move(gen));
   return *closed_loops_.back();
+}
+
+WorkloadSource& Experiment::set_workload_source(
+    std::unique_ptr<WorkloadSource> source) {
+  source->bind(sim_, *app_,
+               config_.seed ^ (0xa0761d6478bd642fULL + workload_sources_.size()),
+               [this](SimTime, int, SimTime rt, bool ok) {
+                 recorder_->record(rt, ok);
+                 if (!ok && slo_monitor_ != nullptr) {
+                   slo_monitor_->record("e2e", sim_.now(), false);
+                 }
+               });
+  workload_sources_.push_back(std::move(source));
+  return *workload_sources_.back();
 }
 
 SoraFramework& Experiment::add_sora(SoraFrameworkOptions options) {
@@ -309,6 +342,13 @@ void Experiment::configure_sharding() {
       for (const CallGroup& group : behavior.call_groups) {
         for (const std::string& t : group.targets) targets.insert(t);
       }
+      // Async callback edges carry real messages too: they ride the same
+      // deliver() path at the same network latency, so including them here
+      // keeps the partitioner's lookahead (= min cross-shard edge latency)
+      // a true lower bound on every cross-lane message.
+      for (const AsyncCallback& cb : behavior.async_callbacks) {
+        targets.insert(cb.target);
+      }
     }
     for (const std::string& t : targets) {
       auto it = index_of.find(t);
@@ -365,6 +405,7 @@ void Experiment::start_all() {
     Simulator::ShardScope scope(0);
     for (auto& gen : open_loops_) gen->start();
     for (auto& gen : closed_loops_) gen->start();
+    for (auto& src : workload_sources_) src->start();
   }
   // One loop drives every control plane, through the shared Controller
   // contract, in start order: frameworks first (preserving the historical

@@ -122,6 +122,16 @@ class Experiment {
   ClosedLoopGenerator& closed_loop(int users, SimTime think_mean,
                                    RequestMix mix = RequestMix(0));
 
+  /// Attach a pluggable workload source (e.g. ReplayWorkloadSource). The
+  /// source is bound immediately — simulator, application target, a seed
+  /// salted from the experiment seed by attach order, and the same
+  /// completion observer the built-in generators use — and started at
+  /// start_all() on shard lane 0 alongside them. Additive: the built-in
+  /// open_loop/closed_loop generators stay available and compose, as do
+  /// enable_faults/enable_admission and SLO analytics. Returns the source
+  /// for knob access; the experiment takes ownership.
+  WorkloadSource& set_workload_source(std::unique_ptr<WorkloadSource> source);
+
   // -- control planes -----------------------------------------------------------
 
   SoraFramework& add_sora(SoraFrameworkOptions options = {});
@@ -297,6 +307,7 @@ class Experiment {
 
   std::vector<std::unique_ptr<OpenLoopGenerator>> open_loops_;
   std::vector<std::unique_ptr<ClosedLoopGenerator>> closed_loops_;
+  std::vector<std::unique_ptr<WorkloadSource>> workload_sources_;
   std::vector<std::unique_ptr<SoraFramework>> frameworks_;
   std::vector<std::unique_ptr<Autoscaler>> scalers_;
   std::vector<std::unique_ptr<Controller>> controllers_;

@@ -115,10 +115,11 @@ class Application : public LoadTarget {
   std::uint64_t injected_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t shed_ = 0;  ///< front-door sheds (no trace ever created)
-  /// Whether the most recently assembled trace was served end-to-end (no
-  /// hop rejected by admission). Trace listeners run synchronously inside
+  /// Whether the most recently departed root was served end-to-end (no
+  /// hop rejected by admission). Root listeners run synchronously inside
   /// the root finish_span, before the root's done() continuation, so this
-  /// is always fresh when the injection callback fires.
+  /// is always fresh when the injection callback fires — even when async
+  /// callback spans keep the trace open past the root.
   bool last_trace_ok_ = true;
 };
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "admission/request.h"
 #include "svc/soft_resource.h"
 
 namespace sora {
@@ -27,11 +28,26 @@ struct CallGroup {
   std::vector<std::string> targets;
 };
 
+/// Fire-and-forget notification issued as a visit completes — the async
+/// callback edge that expresses cross-service cycles (cache invalidation,
+/// write-behind, webhooks) without deadlocking the synchronous request
+/// path. The caller's response never waits on it.
+struct AsyncCallback {
+  std::string target;
+  /// Request class the callback runs under at the target. Give the target
+  /// an explicit terminal behaviour for this class: the class-0 fallback
+  /// would re-trigger the target's own async edges and could loop forever.
+  int request_class = 0;
+  Priority priority = Priority::kHigh;
+};
+
 /// Behaviour of a service for one request class.
 struct ClassBehavior {
   DemandSpec request_demand;   ///< CPU before any downstream call.
   DemandSpec response_demand;  ///< CPU after downstream calls return.
   std::vector<CallGroup> call_groups;
+  /// Issued after the response departs; spans stay in the parent trace.
+  std::vector<AsyncCallback> async_callbacks;
 };
 
 /// Connection pool owned by a caller, gating its RPCs to one target.
@@ -100,6 +116,14 @@ struct ServiceConfig {
                                      std::vector<std::string> targets) {
     classes[request_class].call_groups.push_back(
         CallGroup{std::move(targets)});
+    return *this;
+  }
+  ServiceConfig& with_async_callback(int request_class,
+                                     const std::string& target,
+                                     int callback_class,
+                                     Priority priority = Priority::kHigh) {
+    classes[request_class].async_callbacks.push_back(
+        AsyncCallback{target, callback_class, priority});
     return *this;
   }
   ServiceConfig& with_replicas(int n) {

@@ -222,8 +222,31 @@ void ServiceInstance::on_groups_done(Visit* v) {
   cpu_.submit(demand, [this, v] { finish(v); });
 }
 
+void ServiceInstance::issue_async_callbacks(Visit* v) {
+  Application& app = svc_.app();
+  Tracer& tracer = app.tracer();
+  const SimTime now = app.sim().now();
+  for (const CompiledAsyncCall& cb : v->behavior->async_callbacks) {
+    Service* target = cb.target;
+    const SpanId child = tracer.start_span(v->trace, v->span, target->id(),
+                                           InstanceId{}, cb.request_class, now);
+    Span& parent = tracer.span(v->trace, v->span);
+    parent.children.push_back(
+        ChildCall{child, /*parallel_group=*/-1, now, 0, /*async=*/true});
+    // No deadline: the user's response already departed, so there is
+    // nothing left for the callback to be late for.
+    app.deliver(svc_, target->shard(),
+                [target, trace = v->trace, child, cls = cb.request_class,
+                 prio = cb.priority] {
+                  target->dispatch(trace, child, RequestMeta{cls, prio, 0},
+                                   [] {});
+                });
+  }
+}
+
 void ServiceInstance::finish(Visit* v) {
   Application& app = svc_.app();
+  if (!v->behavior->async_callbacks.empty()) issue_async_callbacks(v);
   app.tracer().finish_span(v->trace, v->span, app.sim().now());
   svc_.note_completion();
   svc_.note_request_departure(app.sim().now() - v->arrived, true);

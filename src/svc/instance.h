@@ -83,6 +83,12 @@ class ServiceInstance {
   void run_group(Visit* v, std::size_t group_index);
   void issue_call(Visit* v, std::size_t group_index, std::size_t call_index);
   void on_groups_done(Visit* v);
+  /// Fire the behaviour's async callback edges as the visit completes:
+  /// each opens a detached child span (ChildCall.async) in the parent
+  /// trace and dispatches to its target over the network, but the response
+  /// departs without waiting — issued before finish_span so the parent
+  /// span is still open to record the ChildCall.
+  void issue_async_callbacks(Visit* v);
   void finish(Visit* v);
   /// Close a condemned visit early: failed span, entry slot released,
   /// caller's done() invoked (conservation holds — every arrival departs).

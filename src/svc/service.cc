@@ -54,6 +54,12 @@ void Service::compile_and_start() {
       }
       out.groups.push_back(std::move(cg));
     }
+    for (const AsyncCallback& cb : src->async_callbacks) {
+      Service* target = app_.service(cb.target);
+      assert(target != nullptr && "async callback target does not exist");
+      out.async_callbacks.push_back(
+          CompiledAsyncCall{target, cb.request_class, cb.priority});
+    }
   }
   refresh_samplers();
 

@@ -39,6 +39,14 @@ struct CompiledGroup {
   std::vector<CompiledCall> calls;
 };
 
+/// An async callback edge with its target resolved. Never gated by a
+/// connection pool: fire-and-forget sends hold no caller-side slot.
+struct CompiledAsyncCall {
+  Service* target = nullptr;
+  int request_class = 0;
+  Priority priority = Priority::kHigh;
+};
+
 struct CompiledBehavior {
   DemandSpec request_demand;
   DemandSpec response_demand;
@@ -47,6 +55,7 @@ struct CompiledBehavior {
   LognormalSampler request_sampler;
   LognormalSampler response_sampler;
   std::vector<CompiledGroup> groups;
+  std::vector<CompiledAsyncCall> async_callbacks;
 };
 
 class Service {

@@ -30,10 +30,13 @@ CriticalPath extract_critical_path(const Trace& trace) {
                                     current->processing_time(),
                                     current->duration()});
     // Descend into the child visit of maximal duration: it dominates the
-    // downstream wall time of this span.
+    // downstream wall time of this span. Async callback children are
+    // fire-and-forget — the caller's response never waits on them — so they
+    // can never sit on the critical path, however long they run.
     const Span* next = nullptr;
     SimTime best = -1;
     for (const ChildCall& call : current->children) {
+      if (call.async) continue;
       auto it = idx.find(call.child.value());
       if (it == idx.end()) continue;  // child span missing (defensive)
       const SimTime d = it->second->duration();

@@ -18,13 +18,17 @@ namespace sora {
 
 /// One downstream call issued by a span. `parallel_group` identifies calls
 /// issued concurrently (same group fires together); groups execute in
-/// ascending order; -1 would be meaningless here since every call belongs to
-/// a group (sequential calls are singleton groups).
+/// ascending order. Async callback edges (fire-and-forget notifications
+/// issued as the visit completes — the mechanism that expresses
+/// cross-service cycles) carry `async = true` and `parallel_group = -1`:
+/// the caller never waits on them, so they contribute nothing to its
+/// downstream_wait and are skipped by critical-path extraction.
 struct ChildCall {
   SpanId child;
   int parallel_group = 0;
   SimTime issued = 0;    ///< When the caller initiated the call.
-  SimTime returned = 0;  ///< When the response came back.
+  SimTime returned = 0;  ///< When the response came back (0 for async).
+  bool async = false;    ///< Fire-and-forget callback; caller never waits.
 };
 
 /// One service visit.

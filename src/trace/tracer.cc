@@ -143,10 +143,21 @@ void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
   --open.open_spans;
 
   const bool is_root = !s.parent.valid();
-  if (!is_root) {
+  if (is_root) {
+    // The root's departure is the user-visible response time; async
+    // callback spans running past it never move trace.end.
+    open.trace.end = departure;
+    open.root_finished = true;
+  }
+
+  if (!open.root_finished || open.open_spans > 0) {
     // Listeners run outside the lock: their state is lane-confined and the
-    // span reference stays valid (deque storage).
+    // span reference stays valid (deque storage; only begin_trace — entry
+    // lane only — inserts into the open-trace table).
     lock.unlock();
+    if (is_root) {
+      for (const auto& listener : root_listeners_) listener(open.trace);
+    }
     const SpanFate fate =
         span_interceptor_ ? span_interceptor_(s) : SpanFate::kDeliver;
     if (fate == SpanFate::kDeliver) {
@@ -155,21 +166,42 @@ void Tracer::finish_span(TraceId trace, SpanId id, SimTime departure) {
     return;
   }
 
-  assert(open.open_spans == 0 && "root span closed with open children");
-  open.trace.end = departure;
-  // Move the trace out before invoking listeners so that re-entrant tracer
-  // use from a listener cannot invalidate it.
+  // Last open span closed: assemble. Move the trace out before invoking
+  // listeners so that re-entrant tracer use from a listener cannot
+  // invalidate it.
   Trace done = std::move(open.trace);
   open_.erase(it);
   ++traces_completed_;
   lock.unlock();
 
-  Span& root = done.spans.front();
-  const SpanFate fate =
-      span_interceptor_ ? span_interceptor_(root) : SpanFate::kDeliver;
-  if (fate == SpanFate::kDeliver) {
-    for (const auto& listener : span_listeners_) listener(root);
+  // `s` moved with the trace; relocate the closing span for its report.
+  Span* closing = nullptr;
+  for (Span& sp : done.spans) {
+    if (sp.id == id) {
+      closing = &sp;
+      break;
+    }
   }
+  assert(closing != nullptr);
+  if (is_root) {
+    for (const auto& listener : root_listeners_) listener(done);
+  }
+  const SpanFate fate =
+      span_interceptor_ ? span_interceptor_(*closing) : SpanFate::kDeliver;
+  if (fate == SpanFate::kDeliver) {
+    for (const auto& listener : span_listeners_) listener(*closing);
+  }
+  if (!is_root && deferred_delivery_) {
+    // The trace outlived its root (async callbacks): hand it off so the
+    // harness can route assembly back to the entry lane.
+    const ServiceId last_service = closing->service;
+    deferred_delivery_(std::move(done), last_service);
+    return;
+  }
+  deliver_trace(std::move(done));
+}
+
+void Tracer::deliver_trace(Trace&& done) {
   if (canonical_ids_) canonicalize(done);
   if (trace_finalizer_) trace_finalizer_(done);
   for (const auto& listener : trace_listeners_) listener(done);

@@ -35,6 +35,21 @@ class Tracer {
   /// Span listeners fire on every span completion (service visit), which is
   /// what the scatter samplers consume.
   using SpanListener = std::function<void(const Span&)>;
+  /// Root listeners fire the instant the ROOT span closes — the user-visible
+  /// response time — even when async callback spans keep the trace open
+  /// past it (assembly is then deferred until the last span closes). The
+  /// trace passed in may still gain spans afterwards; listeners must read
+  /// and return, not retain the reference or re-enter the tracer.
+  using RootListener = std::function<void(const Trace&)>;
+  /// Hand-off for deferred assembly: when the last span of a trace closes
+  /// after the root already departed (async callbacks outliving the
+  /// response), the raw trace is passed here with the service whose span
+  /// closed last, instead of being processed inline. The hook must
+  /// eventually call deliver_trace — the harness routes the hand-off
+  /// through the network layer so trace listeners always run on the entry
+  /// lane at a shard-count-invariant time. Without a hook, finish_span
+  /// calls deliver_trace inline.
+  using DeferredDelivery = std::function<void(Trace&&, ServiceId)>;
 
   /// What the span interceptor decided for one completed span's report.
   enum class SpanFate {
@@ -62,13 +77,28 @@ class Tracer {
   /// in a deque), but the lookup itself synchronizes in thread-safe mode.
   Span& span(TraceId trace, SpanId id);
 
-  /// Close a span. When the root span closes, the trace is assembled,
-  /// listeners run, and the trace's storage is released.
+  /// Close a span. When the last open span of a trace closes (the root
+  /// itself on async-free traces), the trace is assembled, listeners run,
+  /// and the trace's storage is released. A root closing while async
+  /// callback spans are still open only fires the root listeners; assembly
+  /// waits for the stragglers.
   void finish_span(TraceId trace, SpanId id, SimTime departure);
 
   void add_trace_listener(TraceListener cb) {
     trace_listeners_.push_back(std::move(cb));
   }
+  void add_root_listener(RootListener cb) {
+    root_listeners_.push_back(std::move(cb));
+  }
+  /// Install (or clear, with nullptr) the deferred-assembly hand-off.
+  void set_deferred_delivery(DeferredDelivery fn) {
+    deferred_delivery_ = std::move(fn);
+  }
+  /// Assemble a trace whose spans have all closed: canonical ids (when
+  /// enabled), finalizer, then trace listeners. Called by finish_span for
+  /// ordinary traces and by the deferred-delivery hook's continuation for
+  /// traces that outlived their root.
+  void deliver_trace(Trace&& t);
   /// Install a finalizer that may mutate the assembled trace after the root
   /// span closes but before any trace listener runs (used to stamp the
   /// latency-budget annotations so the warehouse stores annotated spans).
@@ -108,6 +138,9 @@ class Tracer {
   struct OpenTrace {
     Trace trace;
     std::size_t open_spans = 0;
+    /// The root span departed; trace.end is final. Spans still open are
+    /// async callbacks — when the last closes, the trace assembles.
+    bool root_finished = false;
   };
 
   /// Find a span inside an open trace by id. Traces hold a handful of
@@ -143,8 +176,10 @@ class Tracer {
   std::unordered_map<std::uint64_t, OpenTrace> open_;
   std::function<void(Trace&)> trace_finalizer_;
   SpanInterceptor span_interceptor_;
+  DeferredDelivery deferred_delivery_;
   std::vector<TraceListener> trace_listeners_;
   std::vector<SpanListener> span_listeners_;
+  std::vector<RootListener> root_listeners_;
   std::uint64_t traces_completed_ = 0;
   bool thread_safe_ = false;
   bool canonical_ids_ = false;

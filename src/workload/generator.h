@@ -50,6 +50,28 @@ using CompletionObserver = std::function<void(SimTime injected_at,
                                               int request_class, SimTime rt,
                                               bool ok)>;
 
+/// A pluggable load driver the harness can own alongside (or instead of)
+/// its built-in generators. The harness binds the source once — before
+/// start() — handing it the simulator, the injection target, a seed to
+/// derive every internal RNG stream from, and the observer completions must
+/// be reported through; everything downstream of the seam (latency
+/// recording, SLO accounting, admission, faults) then composes unchanged.
+/// ReplayWorkloadSource (workload/replay.h) is the cluster-trace
+/// implementation.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+
+  virtual void bind(Simulator& sim, LoadTarget& target, std::uint64_t seed,
+                    CompletionObserver observer) = 0;
+  /// Begin injecting at sim.now(); requires bind() first.
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  /// Requests injected so far (across the source's internal streams).
+  virtual std::uint64_t injected() const = 0;
+  virtual const char* name() const = 0;
+};
+
 class OpenLoopGenerator {
  public:
   OpenLoopGenerator(Simulator& sim, LoadTarget& target, WorkloadTrace trace,

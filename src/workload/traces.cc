@@ -1,6 +1,7 @@
 #include "workload/traces.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace sora {
@@ -28,6 +29,8 @@ const char* to_string(TraceShape shape) {
       return "Dual Phase";
     case TraceShape::kSteepTriPhase:
       return "Steep Tri Phase";
+    case TraceShape::kReplay:
+      return "Replay";
   }
   return "?";
 }
@@ -91,6 +94,10 @@ double trace_intensity(TraceShape shape, double t) {
       return clamp01(0.28 + 0.72 * p1 + 0.62 * p2 +
                      0.04 * std::sin(2.0 * kPi * t * 5.0));
     }
+    case TraceShape::kReplay:
+      // Replay traces carry their own sample curve; there is no normalized
+      // analytic intensity to evaluate.
+      return 0.0;
   }
   return 0.0;
 }
@@ -102,7 +109,38 @@ WorkloadTrace::WorkloadTrace(TraceShape shape, SimTime duration,
       base_(base_rate_rps),
       peak_(peak_rate_rps) {}
 
+WorkloadTrace WorkloadTrace::piecewise(
+    std::vector<std::pair<SimTime, double>> samples) {
+  assert(samples.size() >= 2 && "piecewise trace needs at least two samples");
+  double lo = samples.front().second;
+  double hi = samples.front().second;
+  for (const auto& [t, r] : samples) {
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  WorkloadTrace trace(TraceShape::kReplay, samples.back().first, lo, hi);
+  trace.curve_ = std::make_shared<
+      const std::vector<std::pair<SimTime, double>>>(std::move(samples));
+  return trace;
+}
+
 double WorkloadTrace::rate_at(SimTime t) const {
+  if (shape_ == TraceShape::kReplay) {
+    const auto& c = *curve_;
+    if (t <= c.front().first) return c.front().second;
+    if (t >= c.back().first) return c.back().second;
+    // First sample strictly past t; its predecessor starts the segment.
+    const auto it = std::upper_bound(
+        c.begin(), c.end(), t,
+        [](SimTime lhs, const std::pair<SimTime, double>& s) {
+          return lhs < s.first;
+        });
+    const auto& [t1, r1] = *it;
+    const auto& [t0, r0] = *(it - 1);
+    const double frac = static_cast<double>(t - t0) /
+                        static_cast<double>(t1 - t0);
+    return r0 + (r1 - r0) * frac;
+  }
   const double x = duration_ > 0
                        ? static_cast<double>(std::clamp<SimTime>(t, 0, duration_)) /
                              static_cast<double>(duration_)

@@ -8,7 +8,9 @@
 // it onto an absolute request rate over a configured duration.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -22,6 +24,9 @@ enum class TraceShape {
   kBigSpike,
   kDualPhase,
   kSteepTriPhase,
+  /// Piecewise-linear curve from recorded samples (WorkloadTrace::piecewise)
+  /// rather than an analytic shape; trace_intensity has no meaning for it.
+  kReplay,
 };
 
 /// All six shapes, in the order the paper's Table 2 lists them.
@@ -40,6 +45,15 @@ class WorkloadTrace {
   WorkloadTrace(TraceShape shape, SimTime duration, double base_rate_rps,
                 double peak_rate_rps);
 
+  /// A replayed rate curve: piecewise-linear interpolation through
+  /// (time, rps) samples with strictly increasing times (at least two).
+  /// Before the first / after the last sample the curve clamps to the edge
+  /// value; max_rate() is the largest sample, which keeps the thinning
+  /// sampler exact. The curve is shared, so copies (the generator holds its
+  /// trace by value) stay cheap at cluster-trace lengths.
+  static WorkloadTrace piecewise(
+      std::vector<std::pair<SimTime, double>> samples);
+
   /// Arrival rate (requests/second) at absolute sim time `t`; clamps t into
   /// [0, duration].
   double rate_at(SimTime t) const;
@@ -57,6 +71,8 @@ class WorkloadTrace {
   SimTime duration_;
   double base_;
   double peak_;
+  /// Sample curve for kReplay traces; null for analytic shapes.
+  std::shared_ptr<const std::vector<std::pair<SimTime, double>>> curve_;
 };
 
 }  // namespace sora

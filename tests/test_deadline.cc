@@ -138,5 +138,41 @@ TEST(Deadline, ThresholdMonotoneInUpstreamPt) {
   }
 }
 
+// max_traces bounds the fold with deterministic systematic sampling: the
+// sampled mean equals the full mean on a homogeneous window, reruns are
+// byte-identical, and traces_used respects the bound.
+TEST(Deadline, MaxTracesBoundsFoldDeterministically) {
+  TraceWarehouse wh(1000);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    wh.store(chain_trace(i + 1, static_cast<SimTime>(i) * 10));
+  }
+  DeadlineOptions o = usec_opts();
+  const DeadlineResult full =
+      propagate_deadline(wh, 0, 100000, ServiceId(2), usec(500), o);
+  ASSERT_TRUE(full.valid);
+  EXPECT_EQ(full.traces_used, 100u);
+
+  o.max_traces = 8;
+  const DeadlineResult sampled =
+      propagate_deadline(wh, 0, 100000, ServiceId(2), usec(500), o);
+  ASSERT_TRUE(sampled.valid);
+  EXPECT_LE(sampled.traces_used, 8u);
+  EXPECT_GE(sampled.traces_used, 1u);
+  // Identical traces => identical mean regardless of which were sampled.
+  EXPECT_EQ(sampled.mean_upstream_pt, full.mean_upstream_pt);
+  EXPECT_EQ(sampled.rt_threshold, full.rt_threshold);
+
+  const DeadlineResult rerun =
+      propagate_deadline(wh, 0, 100000, ServiceId(2), usec(500), o);
+  EXPECT_EQ(rerun.traces_used, sampled.traces_used);
+  EXPECT_EQ(rerun.mean_upstream_pt, sampled.mean_upstream_pt);
+
+  // A bound at or above the window folds everything.
+  o.max_traces = 100;
+  const DeadlineResult exact =
+      propagate_deadline(wh, 0, 100000, ServiceId(2), usec(500), o);
+  EXPECT_EQ(exact.traces_used, 100u);
+}
+
 }  // namespace
 }  // namespace sora

@@ -1,0 +1,151 @@
+// Scale guard for the localization phase: the per-round cost must stay
+// O(services + traces·depth) as the service count sweeps 50 -> 5000, and
+// the top-k ranking must agree with the full sort. Guards count ops
+// (LocalizerRoundCost), not wall-clock, so they hold under sanitizers and
+// on loaded CI machines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/localization.h"
+#include "harness/experiment.h"
+#include "topo/synth.h"
+
+namespace sora {
+namespace {
+
+topo::Topology make_topology(int services) {
+  topo::TopologyConfig cfg;
+  cfg.seed = 5;
+  cfg.services = services;
+  cfg.tenants = 2;
+  cfg.entries_per_tenant = 1;
+  return topo::synthesize(cfg);
+}
+
+// An idle round (no traffic) is a pure function of the service count:
+// one utilization scan plus the ranking pass. This is the floor every
+// control round pays at planet scale, so it must stay linear.
+TEST(LocalizerScaleGuard, IdleRoundCostIsLinearInServices) {
+  const std::vector<int> sweep = {50, 500, 2000, 5000};
+  std::vector<double> per_service;
+  for (int services : sweep) {
+    const topo::Topology topo = make_topology(services);
+    ExperimentConfig ecfg;
+    ecfg.duration = sec(1);
+    Experiment exp(topo.app, ecfg);
+    LocalizerOptions opts;
+    opts.top_k = 32;
+    CriticalServiceLocalizer loc(exp.app(), exp.warehouse(), opts);
+    loc.begin_window();
+    (void)loc.analyze();
+    const LocalizerRoundCost& cost = loc.last_round_cost();
+    EXPECT_EQ(cost.services_scanned, static_cast<std::size_t>(services));
+    EXPECT_EQ(cost.traces_folded, 0u);
+    EXPECT_EQ(cost.hops_folded, 0u);
+    per_service.push_back(static_cast<double>(cost.total()) / services);
+  }
+  // Linear scaling: ops per service must not grow with the fleet. Allow a
+  // small constant-overhead bump at the low end by comparing against the
+  // smallest sweep point.
+  for (double ratio : per_service) {
+    EXPECT_LE(ratio, per_service.front() * 1.5 + 8.0)
+        << "per-service round cost grew super-linearly";
+  }
+}
+
+// With traffic, the extra cost is the streaming fold: one op per trace
+// plus one per critical-path hop. Nothing may scale with
+// services × traces.
+TEST(LocalizerScaleGuard, LoadedRoundCostTracksTracesNotProduct) {
+  const topo::Topology topo = make_topology(200);
+  ExperimentConfig ecfg;
+  ecfg.duration = sec(20);
+  ecfg.seed = 9;
+  Experiment exp(topo.app, ecfg);
+  LocalizerOptions opts;
+  opts.top_k = 32;
+  CriticalServiceLocalizer loc(exp.app(), exp.warehouse(), opts);
+  loc.begin_window();
+  // Modest rate: the synthesized fan-out trees make each request expensive,
+  // and an overloaded graph completes no traces inside the window.
+  for (int t = 0; t < 2; ++t) {
+    exp.open_loop(WorkloadTrace(TraceShape::kSlowlyVarying, sec(20), 1.0, 1.0),
+                  topo.tenant_mix(t));
+  }
+  exp.run();
+  (void)loc.analyze();
+  const LocalizerRoundCost& cost = loc.last_round_cost();
+  EXPECT_GT(cost.traces_folded, 20u);
+  EXPECT_GT(cost.hops_folded, cost.traces_folded);
+  // Fold cost is per-trace (bounded by max path length), never per-service:
+  // with 200 services a services × traces blowup would exceed this bound by
+  // orders of magnitude.
+  EXPECT_LT(cost.hops_folded, cost.traces_folded * 64u);
+  // Ranking stays O(n log k) with top-k enabled.
+  const double n = 200.0;
+  EXPECT_LT(static_cast<double>(cost.sort_comparisons),
+            8.0 * n * std::log2(64.0));
+}
+
+// Top-k reporting is a truncation of the full sort: same verdict, and the
+// retained entries are exactly the k best under (pcc desc, id asc).
+TEST(LocalizerScaleGuard, TopKAgreesWithFullSort) {
+  const topo::Topology topo = make_topology(120);
+  ExperimentConfig ecfg;
+  ecfg.duration = sec(20);
+  ecfg.seed = 13;
+  Experiment exp(topo.app, ecfg);
+  LocalizerOptions full_opts;  // top_k = 0: historical full sort
+  LocalizerOptions topk_opts;
+  topk_opts.top_k = 8;
+  CriticalServiceLocalizer full(exp.app(), exp.warehouse(), full_opts);
+  CriticalServiceLocalizer topk(exp.app(), exp.warehouse(), topk_opts);
+  full.begin_window();
+  topk.begin_window();
+  for (int t = 0; t < 2; ++t) {
+    exp.open_loop(WorkloadTrace(TraceShape::kSlowlyVarying, sec(20), 6.0,
+                                12.0),
+                  topo.tenant_mix(t));
+  }
+  exp.run();
+  const CriticalServiceReport a = full.analyze();
+  const CriticalServiceReport b = topk.analyze();
+
+  // Verdicts are computed before ranking and must be identical.
+  EXPECT_EQ(a.critical, b.critical);
+  EXPECT_EQ(a.by_utilization, b.by_utilization);
+  EXPECT_EQ(a.by_correlation, b.by_correlation);
+  EXPECT_EQ(a.traces_analyzed, b.traces_analyzed);
+  ASSERT_TRUE(a.critical.valid());
+
+  // Expected top-k: the full report re-ranked with the top-k comparator.
+  std::vector<ServiceDiagnostics> expect = a.services;
+  std::sort(expect.begin(), expect.end(),
+            [](const ServiceDiagnostics& x, const ServiceDiagnostics& y) {
+              if (x.pcc != y.pcc) return x.pcc > y.pcc;
+              return x.service.value() < y.service.value();
+            });
+  ASSERT_GE(b.services.size(), 8u);
+  for (std::size_t i = 0; i < 8u; ++i) {
+    EXPECT_EQ(b.services[i].service, expect[i].service) << "rank " << i;
+    EXPECT_DOUBLE_EQ(b.services[i].pcc, expect[i].pcc) << "rank " << i;
+  }
+  // The critical service is always present in the truncated report.
+  const bool has_critical =
+      std::any_of(b.services.begin(), b.services.end(),
+                  [&](const ServiceDiagnostics& d) {
+                    return d.service == b.critical;
+                  });
+  EXPECT_TRUE(has_critical);
+
+  // The truncation cuts the ranking work: strictly fewer comparisons than
+  // the full sort on the same window.
+  EXPECT_LT(topk.last_round_cost().sort_comparisons,
+            full.last_round_cost().sort_comparisons);
+}
+
+}  // namespace
+}  // namespace sora
